@@ -1,0 +1,140 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its figure's
+// rows/series on the simulated multiprocessor, prints the table(s), and
+// reports the figure's headline number as a custom metric. Wall time
+// measures the simulator, not the simulated machine — the interesting
+// output is the printed tables and the reported metrics.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figures use scaled-down virtual measurement intervals; the shapes
+// (who wins, by what factor, where the crossovers fall) are what is
+// reproduced, per EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/measure"
+)
+
+// benchParams is the scaled-down methodology used by the benchmarks.
+func benchParams() experiments.Params {
+	return experiments.Params{
+		MaxProcs:  8,
+		WarmupNs:  200_000_000,
+		MeasureNs: 400_000_000,
+		Runs:      1,
+		Seed:      1994,
+	}
+}
+
+var printOnce sync.Map
+
+// runSpec regenerates one experiment per benchmark iteration, prints its
+// tables once, and reports headline metrics.
+func runSpec(b *testing.B, id string) {
+	b.Helper()
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p := benchParams()
+	var tables []measure.Table
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err = spec.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Printf("\n== %s (%s) ==\n", spec.ID, spec.Figures)
+		for _, tb := range tables {
+			fmt.Println(tb.String())
+		}
+	}
+	// Headline metric: the best mean of the first series' points.
+	if len(tables) > 0 && len(tables[0].Series) > 0 {
+		best := 0.0
+		for _, pt := range tables[0].Series[0].Points {
+			if pt.Mean > best {
+				best = pt.Mean
+			}
+		}
+		b.ReportMetric(best, "peak")
+	}
+}
+
+// Figures 2 and 3: UDP send-side throughput and speedup.
+func BenchmarkFig02_03UDPSend(b *testing.B) { runSpec(b, "fig02-03") }
+
+// Figures 4 and 5: UDP receive-side throughput and speedup.
+func BenchmarkFig04_05UDPRecv(b *testing.B) { runSpec(b, "fig04-05") }
+
+// Figures 6 and 7: TCP send-side throughput and speedup.
+func BenchmarkFig06_07TCPSend(b *testing.B) { runSpec(b, "fig06-07") }
+
+// Figures 8 and 9: TCP receive side — the misordering dip.
+func BenchmarkFig08_09TCPRecv(b *testing.B) { runSpec(b, "fig08-09") }
+
+// Figure 10: ordering effects (assumed in-order vs MCS vs mutex).
+func BenchmarkFig10Ordering(b *testing.B) { runSpec(b, "fig10") }
+
+// Table 1: percentage of packets out-of-order at TCP.
+func BenchmarkTable1OutOfOrder(b *testing.B) { runSpec(b, "table1") }
+
+// Figure 11: ticketing (order preservation above TCP).
+func BenchmarkFig11Ticketing(b *testing.B) { runSpec(b, "fig11") }
+
+// Figure 12: multiple connections, one per processor.
+func BenchmarkFig12MultiConn(b *testing.B) { runSpec(b, "fig12") }
+
+// Figure 13: TCP-1/2/6 locking comparison, send side.
+func BenchmarkFig13LockingSend(b *testing.B) { runSpec(b, "fig13") }
+
+// Figure 14: TCP-1/2/6 locking comparison, receive side.
+func BenchmarkFig14LockingRecv(b *testing.B) { runSpec(b, "fig14") }
+
+// Figure 15: atomic increment/decrement vs lock-based refcounts.
+func BenchmarkFig15AtomicOps(b *testing.B) { runSpec(b, "fig15") }
+
+// Figure 16: per-processor message caching.
+func BenchmarkFig16MsgCache(b *testing.B) { runSpec(b, "fig16") }
+
+// Figures 17 and 18: architectures (Challenge 150/100, Power Series).
+func BenchmarkFig17_18Architectures(b *testing.B) { runSpec(b, "fig17-18") }
+
+// Section 3.2: checksum micro-benchmark (per-CPU bandwidth).
+func BenchmarkChecksumBandwidth(b *testing.B) { runSpec(b, "sec3.2-checksum") }
+
+// Section 3 text: wired vs unwired threads.
+func BenchmarkWiring(b *testing.B) { runSpec(b, "sec3-wiring") }
+
+// Section 3.1 text: demultiplexing without map locks.
+func BenchmarkMapLockDemux(b *testing.B) { runSpec(b, "sec3.1-maplock") }
+
+// Section 4.1 text: send-side misordering below TCP.
+func BenchmarkWireOrder(b *testing.B) { runSpec(b, "sec4.1-wireorder") }
+
+// Extension: skewed traffic across multiple connections (the paper
+// calls its uniform multi-connection test "idealized").
+func BenchmarkExtSkewedConnections(b *testing.B) { runSpec(b, "ext-skew") }
+
+// Extension: the three parallelization strategies of Section 1 compared
+// head to head (the paper's Section 8 future work).
+func BenchmarkExtStrategies(b *testing.B) { runSpec(b, "ext-strategies") }
+
+// Ablations beyond the paper's own figures (DESIGN.md section 6).
+func BenchmarkAblationFIFOKind(b *testing.B)         { runSpec(b, "ablation-fifo") }
+func BenchmarkAblationMapCache(b *testing.B)         { runSpec(b, "ablation-mapcache") }
+func BenchmarkAblationAckRate(b *testing.B)          { runSpec(b, "ablation-ackrate") }
+func BenchmarkAblationHeaderPrediction(b *testing.B) { runSpec(b, "ablation-hdrpred") }
+func BenchmarkAblationWheelLocks(b *testing.B)       { runSpec(b, "ablation-wheel") }

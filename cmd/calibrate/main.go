@@ -1,0 +1,96 @@
+// Command calibrate prints the simulated machine cost model and
+// validates its anchors against the numbers published in the paper:
+// uncontended lock costs (Section 4.1), checksum bandwidth (Section
+// 3.2), and single-processor throughput for each protocol/side/packet
+// combination (Figures 2-9, leftmost points).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+func main() {
+	var (
+		measureMs = flag.Int64("measure", 800, "virtual measurement interval, ms")
+		warmupMs  = flag.Int64("warmup", 400, "virtual warm-up, ms")
+	)
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	fmt.Println("== Machine profiles ==")
+	fmt.Fprintln(w, "machine\tCPU scale\tmem scale\tsync\tmutex pair\tMCS pair\tchecksum MB/s")
+	for _, m := range cost.Machines {
+		mod := cost.NewModel(m)
+		mutexPair := mod.Sync.LockProbe + mod.Sync.LockEnter + mod.Sync.LockExit
+		mcsPair := mod.Sync.MCSSwap + mod.Sync.LockEnter + mod.Sync.LockExit
+		ckMBps := 1e9 / float64(cost.Bytes(mod.Stack.ChecksumByte, 1<<20))
+		syncKind := "coherence"
+		if m.SyncBus {
+			syncKind = "sync bus"
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%s\t%d ns\t%d ns\t%.1f\n",
+			m.Name, m.CPU, m.Mem, syncKind, mutexPair, mcsPair, ckMBps)
+	}
+	w.Flush()
+	fmt.Println()
+	fmt.Println("Paper anchors (100 MHz Challenge): mutex pair 700 ns, MCS pair")
+	fmt.Println("1500 ns, checksum 32 MB/s per CPU cache-missing (Sections 3.2, 4.1).")
+	fmt.Println()
+
+	fmt.Println("== Single-processor throughput anchors (Figures 2-9, P=1) ==")
+	fmt.Fprintln(w, "workload\tmeasured Mbit/s\tpaper ballpark")
+	type anchor struct {
+		name     string
+		proto    core.Proto
+		side     core.Side
+		size     int
+		ck       bool
+		ballpark string
+	}
+	anchors := []anchor{
+		{"UDP send 4K ck-off", core.ProtoUDP, core.SideSend, 4096, false, "~200"},
+		{"UDP send 4K ck-on", core.ProtoUDP, core.SideSend, 4096, true, "~120-150"},
+		{"UDP recv 4K ck-off", core.ProtoUDP, core.SideRecv, 4096, false, "~150"},
+		{"TCP send 4K ck-off", core.ProtoTCP, core.SideSend, 4096, false, "~90"},
+		{"TCP send 4K ck-on", core.ProtoTCP, core.SideSend, 4096, true, "~60-70"},
+		{"TCP recv 4K ck-off", core.ProtoTCP, core.SideRecv, 4096, false, "~120-140"},
+		{"TCP recv 4K ck-on", core.ProtoTCP, core.SideRecv, 4096, true, "~80-100"},
+	}
+	for _, a := range anchors {
+		cfg := core.DefaultConfig()
+		cfg.Proto = a.proto
+		cfg.Side = a.side
+		cfg.PacketSize = a.size
+		cfg.Checksum = a.ck
+		r, _, err := core.Measure(cfg, *warmupMs*1_000_000, *measureMs*1_000_000, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\t%8.1f\t%s\n", a.name, r.Mean, a.ballpark)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Println("== Derived serialization bounds (100 MHz Challenge) ==")
+	mod := cost.NewModel(cost.Challenge100)
+	sendHold := mod.Stack.TCPSendLocked + mod.Stack.TCPAckLocked/2
+	recvHold := mod.Stack.TCPRecvFast
+	// Cap (Mbit/s) = packet bits / hold time: bits / (ns/1e9) / 1e6.
+	capMbps := func(holdNs int64) float64 {
+		return float64(4096*8) / float64(holdNs) * 1000
+	}
+	fmt.Printf("TCP send state-lock hold/packet ≈ %d us → single-connection cap ≈ %.0f Mbit/s (paper: levels off ~215)\n",
+		sendHold/1000, capMbps(sendHold))
+	fmt.Printf("TCP recv state-lock hold/packet ≈ %d us → single-connection cap ≈ %.0f Mbit/s (paper: levels off above 350)\n",
+		recvHold/1000, capMbps(recvHold))
+	fmt.Printf("Bus could support ≈ %.0f processors doing nothing but checksumming (paper: 38)\n",
+		1200.0/32.0)
+}

@@ -1,0 +1,99 @@
+// Command ppbench reproduces the tables and figures of Nahum et al.,
+// "Performance Issues in Parallelized Network Protocols" (OSDI '94), on
+// the simulated multiprocessor.
+//
+// Usage:
+//
+//	ppbench -list
+//	ppbench -experiment fig08-09
+//	ppbench -experiment all -runs 5 -measure 2000 -csv
+//
+// Durations are virtual milliseconds; the paper used 30 s warm-up and
+// 30 s measurement averaged over 10 runs, which works too (it is just
+// slower to simulate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("experiment", "", "experiment ID (see -list), comma-separated, or 'all'")
+		maxProcs = flag.Int("maxprocs", 8, "sweep processor counts 1..N")
+		warmup   = flag.Int64("warmup", 1000, "virtual warm-up per run, ms")
+		measureD = flag.Int64("measure", 2000, "virtual measurement interval per run, ms")
+		runs     = flag.Int("runs", 3, "runs averaged per data point")
+		seed     = flag.Uint64("seed", 1994, "base PRNG seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot     = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
+		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments:")
+		for _, s := range experiments.Catalog() {
+			fmt.Printf("  %-18s %-22s %s\n", s.ID, s.Figures, s.Brief)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ppbench: -experiment required (or -list); try -experiment all")
+		os.Exit(2)
+	}
+
+	p := experiments.Params{
+		MaxProcs:  *maxProcs,
+		WarmupNs:  *warmup * 1_000_000,
+		MeasureNs: *measureD * 1_000_000,
+		Runs:      *runs,
+		Seed:      *seed,
+	}
+	if *quick {
+		p = experiments.QuickParams()
+	}
+
+	var specs []experiments.Spec
+	if *exp == "all" {
+		specs = experiments.Catalog()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			s, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q (see -list)\n", id)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	for _, s := range specs {
+		start := time.Now()
+		fmt.Printf("== %s (%s): %s\n", s.ID, s.Figures, s.Brief)
+		tables, err := s.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %s: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			if *csv {
+				fmt.Println(tb.Title)
+				fmt.Print(tb.CSV())
+			} else {
+				fmt.Println(tb.String())
+			}
+			if *plot {
+				fmt.Println(tb.Plot(64, 16))
+			}
+		}
+		fmt.Printf("   (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,105 @@
+// Command xkprof runs one workload configuration and prints a
+// Pixie-style profile: per-lock wait and hold times, message-tool and
+// demultiplexing statistics, and TCP protocol counters — the
+// instrumentation behind the paper's Section 3.1 observation that 90
+// percent of receive-side time at 8 CPUs is spent waiting on the TCP
+// connection state lock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+func main() {
+	var (
+		proto     = flag.String("proto", "tcp", "transport: tcp or udp")
+		side      = flag.String("side", "recv", "side: send or recv")
+		procs     = flag.Int("procs", 8, "processors")
+		conns     = flag.Int("conns", 1, "connections")
+		size      = flag.Int("size", 4096, "packet size, bytes")
+		checksum  = flag.Bool("checksum", true, "transport checksumming")
+		lock      = flag.String("lock", "mutex", "state lock: mutex, mcs, ticket")
+		layout    = flag.Int("layout", 1, "TCP locking layout: 1, 2 or 6")
+		strategy  = flag.String("strategy", "packet", "parallelism: packet, connection, layered")
+		warmupMs  = flag.Int64("warmup", 500, "virtual warm-up, ms")
+		measureMs = flag.Int64("measure", 1000, "virtual measurement interval, ms")
+		seed      = flag.Uint64("seed", 1994, "PRNG seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	switch *proto {
+	case "tcp":
+		cfg.Proto = core.ProtoTCP
+	case "udp":
+		cfg.Proto = core.ProtoUDP
+	default:
+		fatal("unknown -proto %q", *proto)
+	}
+	switch *side {
+	case "send":
+		cfg.Side = core.SideSend
+	case "recv":
+		cfg.Side = core.SideRecv
+	default:
+		fatal("unknown -side %q", *side)
+	}
+	switch *lock {
+	case "mutex":
+		cfg.LockKind = sim.KindMutex
+	case "mcs":
+		cfg.LockKind = sim.KindMCS
+	case "ticket":
+		cfg.LockKind = sim.KindTicket
+	default:
+		fatal("unknown -lock %q", *lock)
+	}
+	switch *layout {
+	case 1:
+		cfg.Layout = tcp.Layout1
+	case 2:
+		cfg.Layout = tcp.Layout2
+	case 6:
+		cfg.Layout = tcp.Layout6
+	default:
+		fatal("unknown -layout %d", *layout)
+	}
+	switch *strategy {
+	case "packet":
+		cfg.Strategy = core.StrategyPacket
+	case "connection":
+		cfg.Strategy = core.StrategyConnection
+	case "layered":
+		cfg.Strategy = core.StrategyLayered
+	default:
+		fatal("unknown -strategy %q", *strategy)
+	}
+	cfg.Procs = *procs
+	cfg.Connections = *conns
+	cfg.PacketSize = *size
+	cfg.Checksum = *checksum
+	cfg.Seed = *seed
+
+	st, err := core.Build(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res, err := st.Run(*warmupMs*1_000_000, *measureMs*1_000_000)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("Throughput: %.1f Mbit/s  (ooo %.1f%%, wire-ooo %.2f%%, lock wait %.1f%% of processor time)\n\n",
+		res.Mbps, res.OOOPct, res.WireOOOPct, 100*res.LockWaitFrac)
+	fmt.Print(st.ProfileReport())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xkprof: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,82 @@
+// Udpblast: connectionless scaling across machine generations — UDP's
+// near-linear packet-level parallelism (Figures 2-5) and how the three
+// hardware platforms of Section 7 change the picture.
+//
+// Run with:
+//
+//	go run ./examples/udpblast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/parnet"
+)
+
+func main() {
+	const maxProcs = 8
+	base := parnet.DefaultConfig()
+	base.Protocol = parnet.UDP
+	base.WarmupMs = 300
+	base.MeasureMs = 600
+	base.Runs = 2
+
+	fmt.Println("== UDP send-side scaling (Figures 2-3) ==")
+	fmt.Printf("%-6s %14s %14s %14s %14s\n", "procs",
+		"4K ck-off", "4K ck-on", "1K ck-off", "1K ck-on")
+	type variant struct {
+		size int
+		ck   bool
+	}
+	variants := []variant{{4096, false}, {4096, true}, {1024, false}, {1024, true}}
+	curves := make([][]parnet.Result, len(variants))
+	for i, v := range variants {
+		cfg := base
+		cfg.PacketSize = v.size
+		cfg.Checksum = v.ck
+		rs, err := parnet.Sweep(cfg, maxProcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curves[i] = rs
+	}
+	for p := 0; p < maxProcs; p++ {
+		fmt.Printf("%-6d", p+1)
+		for i := range variants {
+			fmt.Printf(" %11.1f   ", curves[i][p].Mbps)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("UDP provides little beyond multiplexing: no shared connection")
+	fmt.Println("state, so packet-level parallelism scales almost linearly.")
+	fmt.Println("Larger packets and checksumming scale marginally better — the")
+	fmt.Println("constant per-packet costs are a smaller fraction of the work.")
+	fmt.Println()
+
+	fmt.Println("== Across machine generations (Section 7 flavor, UDP recv 4K ck-on) ==")
+	fmt.Printf("%-22s %10s %10s %10s\n", "machine", "1 proc", "4 procs", "speedup")
+	for _, m := range []struct {
+		name string
+		m    parnet.Machine
+	}{
+		{"R4400 MP (150MHz)", parnet.Challenge150},
+		{"R4400 MP (100MHz)", parnet.Challenge100},
+		{"R3000 MP (33MHz)", parnet.PowerSeries33},
+	} {
+		cfg := base
+		cfg.Side = parnet.Receive
+		cfg.Machine = m.m
+		rs, err := parnet.Sweep(cfg, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %7.1f %10.1f %9.2fx\n",
+			m.name, rs[0].Mbps, rs[3].Mbps, rs[3].Mbps/rs[0].Mbps)
+	}
+	fmt.Println()
+	fmt.Println("The fastest machine wins on throughput, but relative speedup is")
+	fmt.Println("best on the oldest: its dedicated synchronization bus makes lock")
+	fmt.Println("traffic cheap relative to its slow, memory-bound processors.")
+}

@@ -1,0 +1,614 @@
+// Package core is the packet-level-parallel protocol engine — the
+// paper's primary subject. It assembles complete protocol stacks
+// (application / TCP-or-UDP / IP / FDDI / in-memory driver) on the
+// simulated multiprocessor and runs one wired protocol thread per
+// virtual processor, each shepherding whole packets through the stack
+// (thread-per-packet parallelism):
+//
+//   - Send side: every processor's thread allocates a packet, pushes it
+//     down the shared (or per-processor, for multi-connection runs)
+//     session, and explicitly yields, exactly as in Section 3.
+//   - Receive side: every processor's thread takes the next in-order
+//     packet from the simulated driver and carries it up the stack
+//     through demultiplexing and protocol input processing.
+//
+// The Config struct exposes every structural alternative the paper
+// studies: locking layout and lock kind, checksumming, packet size,
+// message caching, atomic vs locked reference counts, ticketing,
+// assumed-in-order processing, connection count, machine profile,
+// wiring, and map locking.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/event"
+	"repro/internal/fddi"
+	"repro/internal/ip"
+	"repro/internal/measure"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+	"repro/internal/xkernel"
+)
+
+// Proto selects the transport under test.
+type Proto int
+
+// Transport protocols.
+const (
+	ProtoUDP Proto = iota
+	ProtoTCP
+)
+
+func (p Proto) String() string {
+	if p == ProtoUDP {
+		return "UDP"
+	}
+	return "TCP"
+}
+
+// Side selects the data-transfer direction under test.
+type Side int
+
+// Test sides.
+const (
+	SideSend Side = iota
+	SideRecv
+)
+
+func (s Side) String() string {
+	if s == SideSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// Config describes one experiment configuration.
+type Config struct {
+	Proto       Proto
+	Side        Side
+	Procs       int
+	Connections int // 1 = single connection; otherwise conn = proc mod Connections
+	PacketSize  int
+	Checksum    bool
+	Machine     cost.Machine
+	Seed        uint64
+
+	// TCP structure.
+	Layout             tcp.Layout
+	LockKind           sim.LockKind
+	AssumeInOrder      bool
+	Ticketing          bool // implies an order-requiring application
+	NoHeaderPrediction bool
+	AckEvery           int
+	Window             uint32
+
+	// Infrastructure structure.
+	MsgCache   bool
+	RefMode    sim.RefMode
+	MapLocking bool
+	// MapCache keeps the map manager's 1-behind cache on (default).
+	MapCache bool
+	Wired    bool
+	// MigrateEvery makes unwired threads migrate to a random processor
+	// once per this many packets on average (default 8: IRIX daemons
+	// and interrupts displace unwired threads regularly).
+	MigrateEvery int
+	// WheelPerChain selects per-chain timing-wheel locks (default) vs a
+	// single wheel lock (ablation).
+	WheelPerChain bool
+	// HotConnPct skews multi-connection traffic: each pump sends this
+	// percentage of its packets to connection 0 instead of its own
+	// (the paper calls its uniform multi-connection test "idealized";
+	// this extension measures what skew costs).
+	HotConnPct int
+	// Strategy selects the parallelization strategy (Section 1):
+	// packet-level (default), connection-level, or layered.
+	Strategy Strategy
+}
+
+// DefaultConfig returns the paper's baseline configuration (Section 3):
+// message caching on, atomic increment/decrement, single state lock
+// (TCP-1) with the SGI-supplied mutex locks, wired threads, 100 MHz
+// Challenge.
+func DefaultConfig() Config {
+	return Config{
+		Proto:         ProtoUDP,
+		Side:          SideSend,
+		Procs:         1,
+		Connections:   1,
+		PacketSize:    4096,
+		Checksum:      true,
+		Machine:       cost.Challenge100,
+		Layout:        tcp.Layout1,
+		LockKind:      sim.KindMutex,
+		AckEvery:      2,
+		Window:        1 << 20,
+		MsgCache:      true,
+		RefMode:       sim.RefAtomic,
+		MapLocking:    true,
+		MapCache:      true,
+		Wired:         true,
+		MigrateEvery:  8,
+		WheelPerChain: true,
+	}
+}
+
+// Stack is one assembled protocol stack plus its drivers and app.
+type Stack struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Wheel *event.Wheel
+	Alloc *msg.Allocator
+
+	FDDI *fddi.Protocol
+	IP   *ip.Protocol
+	UDP  *udp.Protocol
+	TCP  *tcp.Protocol
+
+	Sink   *app.Sink
+	Source *app.Source
+
+	udpSess []*udp.Session
+	tcbs    []*tcp.TCB
+
+	udpSink *driver.UDPSink
+	udpSrc  *driver.UDPSource
+	tcpRecv *driver.SimTCPReceiver // peer for send-side tests
+	tcpSend *driver.SimTCPSender   // peer for recv-side tests
+
+	stop sim.Flag
+
+	// Alternative-strategy plumbing (strategy.go).
+	handoffQs   []*sim.Queue
+	q1, q2, q3  *sim.Queue
+	layerGroups [][]int
+}
+
+// Build assembles a stack for the configuration. No simulation runs
+// yet; Run drives it.
+func Build(cfg Config) (*Stack, error) {
+	if cfg.Procs <= 0 {
+		return nil, errors.New("core: Procs must be positive")
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	if cfg.PacketSize <= 0 {
+		return nil, errors.New("core: PacketSize must be positive")
+	}
+	if cfg.PacketSize > fddi.MTU-ip.HdrLen-tcp.HdrLen {
+		return nil, fmt.Errorf("core: PacketSize %d exceeds what one FDDI frame carries", cfg.PacketSize)
+	}
+	if err := validateStrategy(&cfg); err != nil {
+		return nil, err
+	}
+	s := &Stack{Cfg: cfg}
+	s.Eng = sim.New(cost.NewModel(cfg.Machine), cfg.Seed+1)
+
+	wcfg := event.DefaultConfig()
+	wcfg.PerChain = cfg.WheelPerChain
+	s.Wheel = event.New(wcfg)
+
+	mcfg := msg.Config{
+		CacheEnabled: cfg.MsgCache,
+		RefMode:      cfg.RefMode,
+		MaxProcs:     cfg.Procs + 2, // pumps + control + event threads
+		CacheDepth:   256,
+	}
+	s.Alloc = msg.NewAllocator(mcfg)
+
+	// Driver (bottom) first, then MAC, IP, transport.
+	var wire xkernel.Wire
+	switch {
+	case cfg.Proto == ProtoUDP && cfg.Side == SideSend:
+		s.udpSink = &driver.UDPSink{}
+		wire = s.udpSink
+	case cfg.Proto == ProtoUDP && cfg.Side == SideRecv:
+		s.udpSrc = driver.NewUDPSource(s.Alloc, cfg.PacketSize, cfg.Connections)
+		wire = s.udpSrc
+	case cfg.Proto == ProtoTCP && cfg.Side == SideSend:
+		s.tcpRecv = driver.NewSimTCPReceiver(s.Alloc, cfg.Connections)
+		if cfg.AckEvery > 0 {
+			s.tcpRecv.AckEvery = cfg.AckEvery
+		}
+		wire = s.tcpRecv
+	default:
+		s.tcpSend = driver.NewSimTCPSender(s.Alloc, cfg.PacketSize, cfg.Connections)
+		wire = s.tcpSend
+	}
+
+	s.FDDI = fddi.New(fddi.Config{
+		Self:       xkernel.MAC{0xA, 0, 0, 0, 0, 1},
+		RefMode:    cfg.RefMode,
+		MapLocking: cfg.MapLocking,
+		MapNoCache: !cfg.MapCache,
+	}, wire)
+	switch {
+	case s.udpSrc != nil:
+		s.udpSrc.SetUpper(s.FDDI)
+	case s.tcpRecv != nil:
+		s.tcpRecv.SetUpper(s.FDDI)
+	case s.tcpSend != nil:
+		s.tcpSend.SetUpper(s.FDDI)
+	}
+
+	low := ip.LowerFDDI(fddi.MTU, func(t *sim.Thread, remote xkernel.MAC, proto uint16) (xkernel.Session, error) {
+		return s.FDDI.Open(t, remote, proto)
+	})
+	s.IP = ip.New(ip.Config{Local: driver.HostLocal, RefMode: cfg.RefMode}, low, s.Wheel, s.Alloc)
+
+	ck := func(on bool) int {
+		if on {
+			return 1 // Compute: the drivers do not checksum, receivers verify-and-ignore
+		}
+		return 0
+	}
+	switch cfg.Proto {
+	case ProtoUDP:
+		s.UDP = udp.New(udp.Config{
+			Checksum:   udp.ChecksumMode(ck(cfg.Checksum)),
+			RefMode:    cfg.RefMode,
+			MapLocking: cfg.MapLocking,
+			MapNoCache: !cfg.MapCache,
+		}, udpOpener{s.IP})
+	case ProtoTCP:
+		s.TCP = tcp.New(tcp.Config{
+			Layout:             cfg.Layout,
+			Kind:               cfg.LockKind,
+			Checksum:           tcp.ChecksumMode(ck(cfg.Checksum)),
+			RefMode:            cfg.RefMode,
+			MapLocking:         cfg.MapLocking,
+			MapNoCache:         !cfg.MapCache,
+			AssumeInOrder:      cfg.AssumeInOrder,
+			Ticketing:          cfg.Ticketing,
+			Window:             cfg.Window,
+			NoHeaderPrediction: cfg.NoHeaderPrediction,
+			AckEvery:           cfg.AckEvery,
+		}, tcpOpener{s.IP}, s.Alloc, s.Wheel)
+	}
+
+	s.Source = app.NewSource(s.Alloc, cfg.PacketSize)
+	return s, nil
+}
+
+// udpOpener and tcpOpener adapt *ip.Protocol to the transports'
+// constructor interfaces.
+type udpOpener struct{ p *ip.Protocol }
+
+func (o udpOpener) Open(t *sim.Thread, dst xkernel.IPAddr, proto uint8) (udp.IPSession, error) {
+	return o.p.Open(t, dst, proto)
+}
+
+type tcpOpener struct{ p *ip.Protocol }
+
+func (o tcpOpener) Open(t *sim.Thread, dst xkernel.IPAddr, proto uint8) (tcp.IPSession, error) {
+	return o.p.Open(t, dst, proto)
+}
+
+// setup opens sessions and completes handshakes; runs on the control
+// thread.
+func (s *Stack) setup(t *sim.Thread) error {
+	cfg := &s.Cfg
+	switch cfg.Proto {
+	case ProtoUDP:
+		if err := s.FDDI.OpenEnable(t, ip.EtherType, s.IP); err != nil {
+			return err
+		}
+		if err := s.IP.OpenEnable(t, ip.ProtoUDP, s.UDP); err != nil {
+			return err
+		}
+		s.Sink = app.NewSink(false, nil)
+		for i := 0; i < cfg.Connections; i++ {
+			part := xkernel.Part{
+				LocalIP: driver.HostLocal, RemoteIP: driver.HostPeer,
+				LocalPort: driver.LocalPort(i), RemotePort: driver.PeerPort(i),
+			}
+			sess, err := s.UDP.Open(t, part, s.Sink)
+			if err != nil {
+				return err
+			}
+			s.udpSess = append(s.udpSess, sess)
+		}
+	case ProtoTCP:
+		if cfg.Strategy == StrategyLayered {
+			if err := s.wireLayered(t); err != nil {
+				return err
+			}
+		} else {
+			if err := s.FDDI.OpenEnable(t, ip.EtherType, s.IP); err != nil {
+				return err
+			}
+			if err := s.IP.OpenEnable(t, ip.ProtoTCP, s.TCP); err != nil {
+				return err
+			}
+		}
+		s.TCP.StartTimers(t)
+		for i := 0; i < cfg.Connections; i++ {
+			part := xkernel.Part{
+				LocalIP: driver.HostLocal, RemoteIP: driver.HostPeer,
+				LocalPort: driver.LocalPort(i), RemotePort: driver.PeerPort(i),
+			}
+			if cfg.Side == SideSend {
+				s.Sink = app.NewSink(false, nil)
+				tcb, err := s.TCP.Open(t, part, s.Sink)
+				if err != nil {
+					return err
+				}
+				s.tcbs = append(s.tcbs, tcb)
+			} else {
+				if s.Sink == nil {
+					s.Sink = app.NewSink(cfg.Ticketing, nil)
+				}
+				var up xkernel.Receiver = s.Sink
+				if s.q3 != nil {
+					// Layered: the transport's delivery crosses the
+					// TCP->app stage boundary.
+					up = &queueReceiver{q: s.q3}
+				}
+				tcb, err := s.TCP.OpenEnable(t, part, up)
+				if err != nil {
+					return err
+				}
+				s.tcbs = append(s.tcbs, tcb)
+			}
+		}
+		if cfg.Side == SideSend {
+			s.tcpRecv.StartAckFlush(t, s.Wheel)
+		} else {
+			if cfg.Ticketing {
+				if cfg.Connections != 1 {
+					return errors.New("core: ticketing needs a single connection")
+				}
+				s.Sink.Seq = s.tcbs[0].Sequencer()
+			}
+			if cfg.Strategy == StrategyLayered {
+				// Stage threads must be running before the handshake:
+				// the SYN parks on a stage queue.
+				s.runLayered(t)
+				for i := 0; i < cfg.Connections; i++ {
+					if err := s.tcpSend.StartAsync(t, i); err != nil {
+						return err
+					}
+				}
+				deadline := t.Now() + 5_000_000_000
+				for i := 0; i < cfg.Connections; i++ {
+					for !s.tcpSend.Established(i) {
+						if t.Now() > deadline {
+							return fmt.Errorf("core: layered handshake for connection %d timed out", i)
+						}
+						t.Sleep(1_000_000)
+					}
+				}
+			} else {
+				for i := 0; i < cfg.Connections; i++ {
+					if err := s.tcpSend.Start(t, i); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Bytes returns the workload's throughput counter: payload bytes
+// consumed by the driver (send side) or delivered to the application
+// (receive side).
+func (s *Stack) Bytes() int64 {
+	switch {
+	case s.udpSink != nil:
+		return s.udpSink.Bytes()
+	case s.tcpRecv != nil:
+		return s.tcpRecv.Bytes()
+	default:
+		return s.Sink.Bytes()
+	}
+}
+
+// pump is one processor's protocol thread.
+func (s *Stack) pump(t *sim.Thread, p int) {
+	cfg := &s.Cfg
+	conn := p % cfg.Connections
+	n := 0
+	for !s.stop.Get() {
+		c := conn
+		if cfg.HotConnPct > 0 && cfg.Connections > 1 && t.Rand().Intn(100) < cfg.HotConnPct {
+			c = 0 // skewed traffic: pile onto the hot connection
+		}
+		var err error
+		switch {
+		case cfg.Proto == ProtoUDP && cfg.Side == SideSend:
+			var m *msg.Message
+			m, err = s.Source.Next(t)
+			if err == nil {
+				err = s.udpSess[c].Push(t, m)
+			}
+			t.Yield() // explicit per-packet yield (Section 3)
+		case cfg.Proto == ProtoTCP && cfg.Side == SideSend:
+			var m *msg.Message
+			m, err = s.Source.Next(t)
+			if err == nil {
+				err = s.tcbs[c].Push(t, m)
+				if errors.Is(err, tcp.ErrClosed) {
+					return // aborted at teardown
+				}
+			}
+			t.Yield()
+		case cfg.Proto == ProtoUDP && cfg.Side == SideRecv:
+			err = s.udpSrc.Pump(t, c)
+		default:
+			var ok bool
+			ok, err = s.tcpSend.Pump(t, c, &s.stop)
+			if !ok {
+				return
+			}
+		}
+		if errors.Is(err, tcp.ErrClosed) {
+			return // connection aborted at teardown
+		}
+		if err != nil {
+			panic(fmt.Sprintf("core: pump %d: %v", p, err))
+		}
+		n++
+		if !cfg.Wired && cfg.MigrateEvery > 0 && t.Rand().Intn(cfg.MigrateEvery) == 0 {
+			t.MigrateTo(t.Rand().Intn(cfg.Procs))
+		}
+	}
+}
+
+// RunResult carries one run's measurements.
+type RunResult struct {
+	Mbps float64
+	// OOOPct is the percentage of data segments arriving out of order
+	// at TCP (receive side; Table 1).
+	OOOPct float64
+	// WireOOOPct is the percentage misordered below TCP on the wire
+	// (send side).
+	WireOOOPct float64
+	// LockWaitFrac is total state-lock wait time divided by total
+	// virtual CPU time (procs x elapsed) — the Pixie figure.
+	LockWaitFrac float64
+	// Packets transferred during the measurement interval.
+	Packets int64
+}
+
+// Run drives the workload: setup, warm-up, a timed measurement
+// interval, teardown. It returns the steady-state measurements.
+func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
+	cfg := &s.Cfg
+	var res RunResult
+	var runErr error
+
+	s.Wheel.Start(s.Eng, 0)
+	s.Eng.Spawn("control", 0, func(t *sim.Thread) {
+		defer func() {
+			// Teardown must happen even on setup errors or the wheel
+			// thread keeps the simulation alive. The stop flag goes up
+			// before connections are aborted so pumps in flight see
+			// the stop, not a surprise-closed connection.
+			s.stop.Set()
+			if cfg.Proto == ProtoTCP {
+				s.TCP.StopTimers()
+				for _, tcb := range s.tcbs {
+					tcb.Abort(t)
+				}
+			}
+			if s.tcpRecv != nil {
+				s.tcpRecv.StopAckFlush()
+			}
+			s.closeStrategyQueues(t)
+			s.Wheel.Stop()
+		}()
+		if err := s.setup(t); err != nil {
+			runErr = err
+			return
+		}
+		switch cfg.Strategy {
+		case StrategyConnection:
+			s.runConnectionLevel(t)
+		case StrategyLayered:
+			// Stage threads were spawned during setup (the handshake
+			// needs the pipeline running).
+		default:
+			for p := 0; p < cfg.Procs; p++ {
+				p := p
+				s.Eng.Spawn(fmt.Sprintf("pump%d", p), p, func(pt *sim.Thread) {
+					s.pump(pt, p)
+				})
+			}
+		}
+		t.Sleep(warmupNs)
+		b0 := s.Bytes()
+		pk0, oo0, wo0, ws0 := s.snapshotOrder()
+		w0 := s.stateLockWait()
+		t0 := t.Now()
+		t.Sleep(measureNs)
+		b1 := s.Bytes()
+		pk1, oo1, wo1, ws1 := s.snapshotOrder()
+		w1 := s.stateLockWait()
+		elapsed := t.Now() - t0
+
+		res.Mbps = float64(b1-b0) * 8 * 1e3 / float64(elapsed)
+		if pk1 > pk0 {
+			res.OOOPct = 100 * float64(oo1-oo0) / float64(pk1-pk0)
+			res.Packets = pk1 - pk0
+		}
+		if ws1 > ws0 {
+			res.WireOOOPct = 100 * float64(wo1-wo0) / float64(ws1-ws0)
+			if res.Packets == 0 {
+				res.Packets = ws1 - ws0
+			}
+		}
+		if elapsed > 0 {
+			res.LockWaitFrac = float64(w1-w0) / float64(elapsed*int64(cfg.Procs))
+		}
+	})
+	s.Eng.Run()
+	return res, runErr
+}
+
+// snapshotOrder gathers ordering counters: (TCP data segs, TCP OOO
+// segs, wire OOO, wire segs).
+func (s *Stack) snapshotOrder() (int64, int64, int64, int64) {
+	var data, ooo, wireOOO, wireSegs int64
+	for _, tcb := range s.tcbs {
+		o, d := tcb.OOOStats()
+		ooo += o
+		data += d
+	}
+	if s.tcpRecv != nil {
+		wireOOO, wireSegs = s.tcpRecv.WireOrder()
+	}
+	return data, ooo, wireOOO, wireSegs
+}
+
+// stateLockWait totals connection-state lock wait time.
+func (s *Stack) stateLockWait() int64 {
+	var w int64
+	for _, tcb := range s.tcbs {
+		w += tcb.StateLockStats().WaitNs
+	}
+	return w
+}
+
+// Measure builds and runs the configuration `runs` times with distinct
+// seeds; it summarizes throughput and averages the ordering and lock
+// measurements across runs.
+func Measure(cfg Config, warmupNs, measureNs int64, runs int) (measure.Result, RunResult, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	var samples []float64
+	var agg RunResult
+	for r := 0; r < runs; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)*7919
+		st, err := Build(c)
+		if err != nil {
+			return measure.Result{}, RunResult{}, err
+		}
+		res, err := st.Run(warmupNs, measureNs)
+		if err != nil {
+			return measure.Result{}, RunResult{}, err
+		}
+		samples = append(samples, res.Mbps)
+		agg.Mbps += res.Mbps
+		agg.OOOPct += res.OOOPct
+		agg.WireOOOPct += res.WireOOOPct
+		agg.LockWaitFrac += res.LockWaitFrac
+		agg.Packets += res.Packets
+	}
+	n := float64(runs)
+	agg.Mbps /= n
+	agg.OOOPct /= n
+	agg.WireOOOPct /= n
+	agg.LockWaitFrac /= n
+	return measure.Summarize(samples), agg, nil
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+const (
+	testWarmup  = 300_000_000 // 0.3 s virtual
+	testMeasure = 500_000_000 // 0.5 s virtual
+)
+
+func runOne(t *testing.T, cfg Config) RunResult {
+	t.Helper()
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run(testWarmup, testMeasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestUDPSendSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 2
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("UDP send throughput = %.1f Mb/s, implausibly low", res.Mbps)
+	}
+}
+
+func TestUDPRecvSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Side = SideRecv
+	cfg.Procs = 2
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("UDP recv throughput = %.1f Mb/s", res.Mbps)
+	}
+}
+
+func TestTCPSendSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Procs = 2
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("TCP send throughput = %.1f Mb/s", res.Mbps)
+	}
+}
+
+func TestTCPRecvSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Procs = 2
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("TCP recv throughput = %.1f Mb/s", res.Mbps)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no packets counted")
+	}
+}
+
+func TestUDPScalesWithProcessors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checksum = false
+	one := runOne(t, cfg)
+	cfg.Procs = 4
+	four := runOne(t, cfg)
+	if four.Mbps < 2.5*one.Mbps {
+		t.Errorf("UDP send: 4 procs %.1f vs 1 proc %.1f — speedup %.2fx, want >= 2.5x",
+			four.Mbps, one.Mbps, four.Mbps/one.Mbps)
+	}
+}
+
+func TestTCPSingleConnectionDoesNotScale(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	one := runOne(t, cfg)
+	cfg.Procs = 6
+	six := runOne(t, cfg)
+	if six.Mbps > 3.5*one.Mbps {
+		t.Errorf("TCP send scaled %.2fx on one connection; the state lock should prevent this",
+			six.Mbps/one.Mbps)
+	}
+	if six.LockWaitFrac < 0.3 {
+		t.Errorf("state-lock wait fraction = %.2f at 6 procs, want substantial", six.LockWaitFrac)
+	}
+}
+
+func TestTCPRecvMisorderingGrowsWithContention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.LockKind = sim.KindMutex
+	one := runOne(t, cfg)
+	cfg.Procs = 6
+	six := runOne(t, cfg)
+	if one.OOOPct > 1 {
+		t.Errorf("uniprocessor OOO = %.1f%%, want ~0", one.OOOPct)
+	}
+	if six.OOOPct < 5 {
+		t.Errorf("6-proc mutex OOO = %.1f%%, want significant misordering", six.OOOPct)
+	}
+	// MCS locks must restore most of the order.
+	cfg.LockKind = sim.KindMCS
+	sixMCS := runOne(t, cfg)
+	if sixMCS.OOOPct > six.OOOPct/1.5 {
+		t.Errorf("MCS OOO %.1f%% not clearly below mutex OOO %.1f%%", sixMCS.OOOPct, six.OOOPct)
+	}
+}
+
+func TestMultiConnectionScales(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.LockKind = sim.KindMCS
+	one := runOne(t, cfg)
+	cfg.Procs = 4
+	cfg.Connections = 4
+	four := runOne(t, cfg)
+	if four.Mbps < 2.5*one.Mbps {
+		t.Errorf("multi-connection TCP: 4 conns/procs %.1f vs 1 %.1f, speedup %.2fx",
+			four.Mbps, one.Mbps, four.Mbps/one.Mbps)
+	}
+}
+
+func TestTicketedAppStillCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Ticketing = true
+	cfg.Procs = 3
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("ticketed recv throughput = %.1f Mb/s", res.Mbps)
+	}
+}
+
+func TestLayoutsAllRun(t *testing.T) {
+	for _, lay := range []tcp.Layout{tcp.Layout1, tcp.Layout2, tcp.Layout6} {
+		cfg := DefaultConfig()
+		cfg.Proto = ProtoTCP
+		cfg.Side = SideRecv
+		cfg.Layout = lay
+		cfg.Procs = 2
+		res := runOne(t, cfg)
+		if res.Mbps < 5 {
+			t.Errorf("%v recv throughput = %.1f Mb/s", lay, res.Mbps)
+		}
+	}
+}
+
+func TestUnwiredRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Wired = false
+	cfg.Procs = 3
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("unwired throughput = %.1f Mb/s", res.Mbps)
+	}
+}
+
+func TestAssumeInOrderRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.AssumeInOrder = true
+	cfg.Procs = 4
+	res := runOne(t, cfg)
+	if res.Mbps < 10 {
+		t.Fatalf("assumed-in-order throughput = %.1f Mb/s", res.Mbps)
+	}
+}
+
+func TestMeasureSummarizes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 2
+	r, last, err := Measure(cfg, testWarmup, testMeasure, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) != 3 || r.Mean <= 0 {
+		t.Fatalf("bad summary: %+v", r)
+	}
+	if last.Mbps <= 0 {
+		t.Fatal("no last-run result")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 0
+	if _, err := Build(cfg); err == nil {
+		t.Error("Procs=0 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.PacketSize = 100000
+	if _, err := Build(cfg); err == nil {
+		t.Error("oversized packet accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Ticketing = true
+	cfg.Connections = 2
+	cfg.Procs = 2
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(testWarmup, testMeasure); err == nil {
+		t.Error("ticketing with multiple connections accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSameSeedSameResult: the simulation's headline guarantee — a given
+// (Config, Seed) reproduces exactly, across every subsystem the
+// workload exercises.
+func TestSameSeedSameResult(t *testing.T) {
+	cfgs := []Config{}
+	base := DefaultConfig()
+	base.Procs = 4
+
+	tcpRecv := base
+	tcpRecv.Proto = ProtoTCP
+	tcpRecv.Side = SideRecv
+	cfgs = append(cfgs, base, tcpRecv)
+
+	connLvl := tcpRecv
+	connLvl.Strategy = StrategyConnection
+	connLvl.Connections = 3
+	connLvl.LockKind = sim.KindMCS
+	cfgs = append(cfgs, connLvl)
+
+	for i, cfg := range cfgs {
+		run := func() RunResult {
+			st, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := st.Run(testWarmup, testMeasure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := run(), run()
+		if a.Mbps != b.Mbps || a.OOOPct != b.OOOPct || a.Packets != b.Packets {
+			t.Errorf("cfg %d not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestDifferentSeedsDiffer: jitter must actually vary with the seed, or
+// the confidence intervals are fiction.
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Procs = 6
+	run := func(seed uint64) float64 {
+		c := cfg
+		c.Seed = seed
+		st, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := st.Run(testWarmup, testMeasure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Mbps
+	}
+	if run(1) == run(2) && run(3) == run(4) {
+		t.Error("four different seeds produced pairwise identical throughputs")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ProfileReport renders a Pixie-style post-run profile: where the
+// virtual time went, lock by lock — the instrumentation behind the
+// paper's "90 percent of the time is spent waiting to acquire the TCP
+// connection state lock" observation. Call after Run.
+func (s *Stack) ProfileReport() string {
+	var b strings.Builder
+	elapsed := s.Eng.Now()
+	cpuTime := elapsed * int64(s.Cfg.Procs)
+	fmt.Fprintf(&b, "Profile: %v %v, %d procs, %d conns, %d-byte packets, checksum=%v, %v\n",
+		s.Cfg.Proto, s.Cfg.Side, s.Cfg.Procs, s.Cfg.Connections,
+		s.Cfg.PacketSize, s.Cfg.Checksum, s.Cfg.Strategy)
+	fmt.Fprintf(&b, "virtual time %.3f s; aggregate processor time %.3f s\n\n",
+		float64(elapsed)/1e9, float64(cpuTime)/1e9)
+
+	row := func(name string, st sim.LockStats) {
+		if st.Acquires == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-26s %10d %10d %9.1f%% %8.2f ms %8.2f ms\n",
+			name, st.Acquires, st.Contended,
+			100*float64(st.Contended)/float64(st.Acquires),
+			float64(st.WaitNs)/1e6, float64(st.HoldNs)/1e6)
+	}
+	fmt.Fprintf(&b, "Locks:\n  %-26s %10s %10s %10s %11s %11s\n",
+		"lock", "acquires", "contended", "cont%", "wait", "hold")
+	for i, tcb := range s.tcbs {
+		st := tcb.StateLockStats()
+		row(fmt.Sprintf("tcp-state[conn %d]", i), st)
+		if cpuTime > 0 {
+			fmt.Fprintf(&b, "  %-26s waiting = %.1f%% of one processor, %.1f%% of all processor time\n",
+				"", 100*float64(st.WaitNs)/float64(elapsed),
+				100*float64(st.WaitNs)/float64(cpuTime))
+		}
+	}
+	if s.FDDI != nil {
+		row("fddi-demux map", s.FDDI.DemuxMap().LockStats())
+	}
+	if s.IP != nil {
+		row("ip-demux map", s.IP.DemuxMap().LockStats())
+	}
+	if s.UDP != nil {
+		row("udp-demux map", s.UDP.DemuxMap().LockStats())
+	}
+	if s.TCP != nil {
+		row("tcp-demux map", s.TCP.DemuxMap().LockStats())
+	}
+	row("malloc arena", s.Alloc.ArenaLockStats())
+
+	fmt.Fprintf(&b, "\nMessage tool:\n")
+	ms := s.Alloc.Stats()
+	total := ms.CacheHits + ms.CacheMisses
+	hitPct := 0.0
+	if total > 0 {
+		hitPct = 100 * float64(ms.CacheHits) / float64(total)
+	}
+	fmt.Fprintf(&b, "  per-processor cache hits %d / %d (%.1f%%), arena allocations %d, frees %d\n",
+		ms.CacheHits, total, hitPct, ms.ArenaAllocs, ms.Frees)
+
+	fmt.Fprintf(&b, "\nDemultiplexing:\n")
+	if s.FDDI != nil {
+		st := s.FDDI.DemuxMap().Stats()
+		fmt.Fprintf(&b, "  fddi map: %d resolves, %d one-behind hits\n", st.Resolves, st.CacheHits)
+	}
+	if s.IP != nil {
+		st := s.IP.DemuxMap().Stats()
+		fmt.Fprintf(&b, "  ip map:   %d resolves, %d one-behind hits\n", st.Resolves, st.CacheHits)
+	}
+	if s.UDP != nil {
+		st := s.UDP.DemuxMap().Stats()
+		fmt.Fprintf(&b, "  udp map:  %d resolves, %d one-behind hits\n", st.Resolves, st.CacheHits)
+	}
+	if s.TCP != nil {
+		st := s.TCP.DemuxMap().Stats()
+		fmt.Fprintf(&b, "  tcp map:  %d resolves, %d one-behind hits\n", st.Resolves, st.CacheHits)
+	}
+
+	if s.TCP != nil {
+		ts := s.TCP.Stats()
+		fmt.Fprintf(&b, "\nTCP:\n")
+		fmt.Fprintf(&b, "  segs in %d (data %d, ooo %d, predicted %d), segs out %d (acks %d)\n",
+			ts.SegsIn, ts.DataSegsIn, ts.OOOSegsIn, ts.Predicted, ts.SegsOut, ts.AcksOut)
+		fmt.Fprintf(&b, "  delivered %d, rexmt %d (+%d fast), dropped %d, checksum-bad %d\n",
+			ts.Delivered, ts.Rexmt, ts.FastRexmt, ts.Dropped, ts.ChecksumBad)
+		if ts.DataSegsIn > 0 {
+			fmt.Fprintf(&b, "  header prediction hit rate %.1f%%, out-of-order %.1f%%\n",
+				100*float64(ts.Predicted)/float64(ts.SegsIn),
+				100*float64(ts.OOOSegsIn)/float64(ts.DataSegsIn))
+		}
+	}
+	if s.IP != nil {
+		is := s.IP.Stats()
+		fmt.Fprintf(&b, "\nIP: sent %d, received %d, frags out/in %d/%d, reassembled %d, timed out %d\n",
+			is.Sent, is.Received, is.FragsOut, is.FragsIn, is.Reassembled, is.TimedOut)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileReportTCPRecv(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Procs = 4
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(testWarmup, testMeasure); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.ProfileReport()
+	for _, want := range []string{
+		"tcp-state[conn 0]", "fddi-demux map", "ip-demux map",
+		"tcp-demux map", "malloc arena", "Message tool",
+		"header prediction hit rate", "IP: sent",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("profile missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestProfileReportUDPSend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Procs = 2
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(testWarmup, testMeasure); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.ProfileReport()
+	if !strings.Contains(rep, "udp-demux map") && !strings.Contains(rep, "Message tool") {
+		t.Errorf("UDP profile incomplete:\n%s", rep)
+	}
+	if strings.Contains(rep, "tcp-state") {
+		t.Error("UDP profile mentions TCP state")
+	}
+}

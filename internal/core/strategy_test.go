@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func strategyCfg(st Strategy, procs, conns int) Config {
+	cfg := DefaultConfig()
+	cfg.Proto = ProtoTCP
+	cfg.Side = SideRecv
+	cfg.Strategy = st
+	cfg.Procs = procs
+	cfg.Connections = conns
+	cfg.LockKind = sim.KindMCS
+	return cfg
+}
+
+func TestConnectionLevelDelivers(t *testing.T) {
+	res := runOne(t, strategyCfg(StrategyConnection, 4, 4))
+	if res.Mbps < 50 {
+		t.Fatalf("throughput = %.1f Mb/s", res.Mbps)
+	}
+	if res.OOOPct != 0 {
+		t.Fatalf("connection-level misordered %.2f%% of packets; order is its invariant", res.OOOPct)
+	}
+}
+
+func TestConnectionLevelPreservesOrderWithMoreProcsThanConns(t *testing.T) {
+	// P > C is the stress case: several producers feed each owner.
+	res := runOne(t, strategyCfg(StrategyConnection, 7, 3))
+	if res.Mbps < 50 {
+		t.Fatalf("throughput = %.1f Mb/s", res.Mbps)
+	}
+	if res.OOOPct != 0 {
+		t.Fatalf("misordered %.2f%% with 7 procs / 3 conns", res.OOOPct)
+	}
+}
+
+func TestConnectionLevelCapsAtConnectionCount(t *testing.T) {
+	four := runOne(t, strategyCfg(StrategyConnection, 4, 4))
+	eight := runOne(t, strategyCfg(StrategyConnection, 8, 4))
+	// Extra processors only produce; protocol processing stays on the
+	// four owners, so scaling must flatten.
+	if eight.Mbps > 1.35*four.Mbps {
+		t.Fatalf("8 procs %.1f vs 4 procs %.1f: connection-level must cap near the connection count",
+			eight.Mbps, four.Mbps)
+	}
+}
+
+func TestLayeredDelivers(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 4, 6} {
+		res := runOne(t, strategyCfg(StrategyLayered, procs, 2))
+		if res.Mbps < 30 {
+			t.Fatalf("layered at %d procs: %.1f Mb/s", procs, res.Mbps)
+		}
+	}
+}
+
+func TestLayeredCapsAtPipelineBottleneck(t *testing.T) {
+	four := runOne(t, strategyCfg(StrategyLayered, 4, 4))
+	eight := runOne(t, strategyCfg(StrategyLayered, 8, 4))
+	if eight.Mbps > 1.1*four.Mbps {
+		t.Fatalf("layered gained from procs beyond its four stages: %.1f vs %.1f",
+			eight.Mbps, four.Mbps)
+	}
+	// And the bottleneck stage must cap it below packet-level.
+	packet := runOne(t, strategyCfg(StrategyPacket, 4, 4))
+	if four.Mbps > packet.Mbps {
+		t.Fatalf("layered (%.1f) beat packet-level (%.1f); Schmidt & Suda disagree",
+			four.Mbps, packet.Mbps)
+	}
+}
+
+func TestPacketLevelOutscalesAlternativesBeyondConnectionCount(t *testing.T) {
+	const conns = 3
+	packet := runOne(t, strategyCfg(StrategyPacket, 8, conns))
+	connlvl := runOne(t, strategyCfg(StrategyConnection, 8, conns))
+	layered := runOne(t, strategyCfg(StrategyLayered, 8, conns))
+	if packet.Mbps <= connlvl.Mbps {
+		t.Errorf("packet-level %.1f <= connection-level %.1f at 8 procs / 3 conns",
+			packet.Mbps, connlvl.Mbps)
+	}
+	if packet.Mbps <= layered.Mbps {
+		t.Errorf("packet-level %.1f <= layered %.1f", packet.Mbps, layered.Mbps)
+	}
+}
+
+func TestStrategyValidation(t *testing.T) {
+	cfg := strategyCfg(StrategyConnection, 2, 2)
+	cfg.Side = SideSend
+	if _, err := Build(cfg); err == nil {
+		t.Error("connection-level send accepted")
+	}
+	cfg = strategyCfg(StrategyLayered, 2, 2)
+	cfg.Proto = ProtoUDP
+	if _, err := Build(cfg); err == nil {
+		t.Error("layered UDP accepted")
+	}
+	cfg = strategyCfg(StrategyConnection, 2, 1)
+	cfg.Ticketing = true
+	if _, err := Build(cfg); err == nil {
+		t.Error("ticketing with connection-level accepted")
+	}
+}
+
+func TestLayerGroupsPartition(t *testing.T) {
+	for procs := 1; procs <= 10; procs++ {
+		groups := layerGroups(procs)
+		var flat []int
+		for _, g := range groups {
+			flat = append(flat, g...)
+		}
+		if len(flat) != 4 {
+			t.Fatalf("procs=%d: stages %v", procs, flat)
+		}
+		for i, st := range flat {
+			if st != i {
+				t.Fatalf("procs=%d: stages out of order %v", procs, flat)
+			}
+		}
+		want := procs
+		if want > 4 {
+			want = 4
+		}
+		if len(groups) != want {
+			t.Fatalf("procs=%d: %d groups, want %d", procs, len(groups), want)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for st, want := range map[Strategy]string{
+		StrategyPacket:     "packet-level",
+		StrategyConnection: "connection-level",
+		StrategyLayered:    "layered",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/xkernel"
+)
+
+// SimTCPReceiver is the simulated TCP receiver that sits below the FDDI
+// layer in send-side tests (Figure 1 of the paper). It consumes data
+// segments as fast as possible and generates acknowledgement packets for
+// packets sent by the actual TCP sender. The driver acknowledges every
+// other packet, mimicking the behaviour of Net/2 TCP when communicating
+// with itself as a peer, and borrows the stack of the calling thread to
+// send an acknowledgement back up. It also performs its role in setting
+// up connections, and measures the percentage of packets that were
+// misordered on the "wire" (the Section 4.1 send-side probe).
+type SimTCPReceiver struct {
+	up    xkernel.Upper
+	alloc *msg.Allocator
+
+	// Window is the flow-control window the simulated peer advertises
+	// (32-bit; defaults to 4 MB).
+	Window uint32
+	// AckEvery acknowledges every n-th data segment (default 2).
+	AckEvery int
+
+	ring  sim.Mutex
+	conns map[uint32]*simRecvConn
+	list  []*simRecvConn
+
+	pkts     int64
+	bytes    int64
+	wireSegs int64
+	wireOOO  int64
+
+	stopFlush sim.Flag
+}
+
+type simRecvConn struct {
+	// Port pair from the real sender's perspective.
+	sport, dport uint16
+	iss          uint32
+	maxEnd       uint32 // cumulative ack point
+	lastEnd      uint32 // wire-order probe
+	started      bool
+	unacked      int
+	pendingAck   bool
+	tmpl         []byte // preconstructed ack frame (peer -> sender)
+}
+
+// NewSimTCPReceiver builds the driver with conns preconfigured
+// connections (connection i: LocalPort(i) -> PeerPort(i)).
+func NewSimTCPReceiver(alloc *msg.Allocator, conns int) *SimTCPReceiver {
+	d := &SimTCPReceiver{
+		alloc:    alloc,
+		Window:   4 << 20,
+		AckEvery: 2,
+		conns:    make(map[uint32]*simRecvConn),
+	}
+	for i := 0; i < conns; i++ {
+		c := &simRecvConn{
+			sport: LocalPort(i),
+			dport: PeerPort(i),
+			iss:   uint32(900000 + i*100000),
+		}
+		c.tmpl = tcpTemplate(0, HostPeer, HostLocal, c.dport, c.sport, d.Window)
+		key := uint32(c.sport)<<16 | uint32(c.dport)
+		d.conns[key] = c
+		d.list = append(d.list, c)
+	}
+	return d
+}
+
+// SetUpper connects the driver to the MAC layer above it.
+func (d *SimTCPReceiver) SetUpper(up xkernel.Upper) { d.up = up }
+
+// Bytes returns the payload bytes consumed — the send-side throughput
+// measurement point.
+func (d *SimTCPReceiver) Bytes() int64 { return d.bytes }
+
+// Packets returns the data segments consumed.
+func (d *SimTCPReceiver) Packets() int64 { return d.pkts }
+
+// WireOrder returns (misordered, total) data segments as seen at the
+// driver: packets that passed each other between TCP and the wire.
+func (d *SimTCPReceiver) WireOrder() (int64, int64) { return d.wireOOO, d.wireSegs }
+
+// TX consumes one outbound frame and reacts as the remote TCP would.
+// The adaptor ring serializes per-frame work under the driver lock.
+func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
+	st := &t.Engine().C.Stack
+	d.ring.Acquire(t)
+	t.ChargeRand(st.DriverRing)
+	d.ring.Release(t)
+	t.ChargeRand(st.DriverTX)
+	frame, err := m.Peek(m.Len())
+	if err != nil {
+		m.Free(t)
+		return err
+	}
+	sg, ok := parseFrameTCP(frame)
+	if !ok {
+		m.Free(t)
+		return fmt.Errorf("driver: non-TCP frame at SimTCPReceiver")
+	}
+	c := d.conns[uint32(sg.SPort)<<16|uint32(sg.DPort)]
+	if c == nil {
+		m.Free(t)
+		return fmt.Errorf("driver: unknown connection %d->%d", sg.SPort, sg.DPort)
+	}
+	m.Free(t)
+
+	switch {
+	case sg.Flags&tcp.FlagSYN != 0 && sg.Flags&tcp.FlagACK == 0:
+		// Active open from the real TCP: complete the handshake.
+		c.maxEnd = sg.Seq + 1
+		c.lastEnd = c.maxEnd
+		c.started = true
+		return d.inject(t, c, tcp.FlagSYN|tcp.FlagACK, c.iss, c.maxEnd)
+
+	case sg.Flags&tcp.FlagFIN != 0:
+		end := sg.Seq + uint32(sg.DLen) + 1
+		if int32(end-c.maxEnd) > 0 {
+			c.maxEnd = end
+		}
+		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+
+	case sg.DLen > 0:
+		end := sg.Seq + uint32(sg.DLen)
+		d.wireSegs++
+		if int32(sg.Seq-c.lastEnd) < 0 {
+			// This segment was passed by a later one below TCP
+			// ("threads pass each other ... before reaching the FDDI
+			// driver", Section 4.1).
+			d.wireOOO++
+		} else {
+			c.lastEnd = end
+		}
+		if int32(end-c.maxEnd) > 0 {
+			c.maxEnd = end
+		}
+		d.pkts++
+		d.bytes += int64(sg.DLen)
+		c.unacked++
+		if c.unacked >= d.AckEvery {
+			c.unacked = 0
+			c.pendingAck = false
+			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		}
+		c.pendingAck = true
+		return nil
+
+	default:
+		// Pure ack from the sender (of our SYN-ACK or FIN): absorb.
+		return nil
+	}
+}
+
+// inject builds an acknowledgement from the preconstructed template and
+// sends it back up the stack on the calling thread.
+func (d *SimTCPReceiver) inject(t *sim.Thread, c *simRecvConn, flags uint8, seq, ack uint32) error {
+	t.ChargeRand(t.Engine().C.Stack.DriverAck)
+	m, err := d.alloc.New(t, len(c.tmpl), 0)
+	if err != nil {
+		return err
+	}
+	if err := m.CopyTemplate(0, c.tmpl); err != nil {
+		m.Free(t)
+		return err
+	}
+	b, _ := m.Peek(m.Len())
+	b[offTCP+12] = flags
+	patchTCPSeq(b, seq)
+	patchTCPAck(b, ack)
+	return d.up.Demux(t, m)
+}
+
+// StartAckFlush registers the 200 ms delayed-ack flush on the event
+// wheel: without it, an odd trailing segment would never be acked and a
+// window-limited sender would stall forever.
+func (d *SimTCPReceiver) StartAckFlush(t *sim.Thread, wheel *event.Wheel) {
+	var flush func(*sim.Thread, any)
+	flush = func(et *sim.Thread, _ any) {
+		if d.stopFlush.Get() {
+			return
+		}
+		for _, c := range d.list {
+			if c.pendingAck && c.started {
+				c.pendingAck = false
+				c.unacked = 0
+				d.inject(et, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+			}
+		}
+		wheel.Schedule(et, flush, nil, 200_000_000)
+	}
+	wheel.Schedule(t, flush, nil, 200_000_000)
+}
+
+// StopAckFlush halts the recurring flush.
+func (d *SimTCPReceiver) StopAckFlush() { d.stopFlush.Set() }
+
+var _ xkernel.Wire = (*SimTCPReceiver)(nil)

@@ -1,0 +1,112 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/xkernel"
+)
+
+// Canonical addresses: the stack under test lives on HostLocal; the
+// simulated peer on HostPeer.
+var (
+	HostLocal = xkernel.IPAddr{10, 0, 0, 1}
+	HostPeer  = xkernel.IPAddr{10, 0, 0, 2}
+)
+
+// LocalPort and PeerPort name connection i's ports.
+func LocalPort(i int) uint16 { return uint16(1000 + i) }
+
+// PeerPort returns the simulated peer's port for connection i.
+func PeerPort(i int) uint16 { return uint16(2000 + i) }
+
+// UDPSink consumes outbound frames as fast as possible — the send-side
+// UDP test's "receiver". The adaptor ring serializes per-frame DMA
+// work under the driver lock, a short shared section every packet from
+// every processor must pass through.
+type UDPSink struct {
+	ring  sim.Mutex
+	pkts  int64
+	bytes int64
+}
+
+// TX consumes one frame, counting its payload bytes.
+func (s *UDPSink) TX(t *sim.Thread, m *msg.Message) error {
+	st := &t.Engine().C.Stack
+	s.ring.Acquire(t)
+	t.ChargeRand(st.DriverRing)
+	if m.Len() >= udpFrameHdr {
+		s.bytes += int64(m.Len() - udpFrameHdr)
+		s.pkts++
+	}
+	s.ring.Release(t)
+	t.ChargeRand(st.DriverTX)
+	m.Free(t)
+	return nil
+}
+
+// Bytes returns payload bytes consumed so far.
+func (s *UDPSink) Bytes() int64 { return s.bytes }
+
+// Packets returns frames consumed so far.
+func (s *UDPSink) Packets() int64 { return s.pkts }
+
+// UDPSource produces inbound frames from preconstructed templates — the
+// receive-side UDP test's "sender".
+type UDPSource struct {
+	up    xkernel.Upper
+	alloc *msg.Allocator
+	ring  sim.Mutex
+	tmpl  [][]byte
+}
+
+// NewUDPSource builds a source with one template per connection, each
+// carrying payload-sized datagrams addressed to the stack under test.
+func NewUDPSource(alloc *msg.Allocator, payload, conns int) *UDPSource {
+	s := &UDPSource{alloc: alloc}
+	for i := 0; i < conns; i++ {
+		s.tmpl = append(s.tmpl,
+			udpTemplate(payload, HostPeer, HostLocal, PeerPort(i), LocalPort(i)))
+	}
+	return s
+}
+
+// SetUpper connects the source to the MAC layer it injects into.
+func (s *UDPSource) SetUpper(up xkernel.Upper) { s.up = up }
+
+// TX absorbs anything the stack tries to transmit (nothing, on the
+// receive side).
+func (s *UDPSource) TX(t *sim.Thread, m *msg.Message) error {
+	st := &t.Engine().C.Stack
+	s.ring.Acquire(t)
+	t.ChargeRand(st.DriverRing)
+	s.ring.Release(t)
+	t.ChargeRand(st.DriverTX)
+	m.Free(t)
+	return nil
+}
+
+// Pump produces one packet for connection conn and shepherds it up the
+// stack on the calling thread (thread-per-packet).
+func (s *UDPSource) Pump(t *sim.Thread, conn int) error {
+	tmpl := s.tmpl[conn%len(s.tmpl)]
+	m, err := s.alloc.New(t, len(tmpl), 0)
+	if err != nil {
+		return fmt.Errorf("driver: udp source: %w", err)
+	}
+	st := &t.Engine().C.Stack
+	s.ring.Acquire(t)
+	t.ChargeRand(st.DriverRing)
+	s.ring.Release(t)
+	t.ChargeRand(st.DriverRXGen)
+	if err := m.CopyTemplate(0, tmpl); err != nil {
+		m.Free(t)
+		return err
+	}
+	t.Interfere()
+	return s.up.Demux(t, m)
+}
+
+var _ xkernel.Wire = (*UDPSink)(nil)
+var _ xkernel.Wire = (*UDPSource)(nil)

@@ -1,0 +1,93 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWheelConcurrentScheduleCancel stresses the per-chain locking with
+// several threads scheduling, cancelling and letting timers fire
+// concurrently, mimicking the retransmission-timer churn of many TCP
+// connections.
+func TestWheelConcurrentScheduleCancel(t *testing.T) {
+	e := newEngine(99)
+	w := New(DefaultConfig())
+	w.Start(e, 0)
+	fired := 0
+	cancelled := 0
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), i, func(th *sim.Thread) {
+			var mine []*Event
+			for j := 0; j < 50; j++ {
+				delay := int64(th.Rand().Intn(300)+1) * 1_000_000
+				ev := w.Schedule(th, func(*sim.Thread, any) { fired++ }, nil, delay)
+				mine = append(mine, ev)
+				th.Sleep(int64(th.Rand().Intn(10)+1) * 1_000_000)
+				// Cancel every third of our own events.
+				if j%3 == 0 {
+					if w.Cancel(th, mine[th.Rand().Intn(len(mine))]) {
+						cancelled++
+					}
+				}
+			}
+		})
+	}
+	e.Spawn("ctl", 7, func(th *sim.Thread) {
+		th.Sleep(2_000_000_000)
+		w.Stop()
+	})
+	e.Run()
+	sched, canc, fir := w.Counts()
+	if sched != 300 {
+		t.Fatalf("scheduled %d, want 300", sched)
+	}
+	if int64(fired) != fir {
+		t.Fatalf("fired mismatch: %d vs %d", fired, fir)
+	}
+	if fir+canc != sched {
+		t.Fatalf("accounting broken: fired %d + cancelled %d != scheduled %d", fir, canc, sched)
+	}
+	if fired == 0 || cancelled == 0 {
+		t.Fatalf("degenerate stress: fired=%d cancelled=%d", fired, cancelled)
+	}
+}
+
+// TestWheelSingleLockStressMatchesPerChain: both locking modes must
+// deliver identical event accounting (the ablation only changes cost).
+func TestWheelSingleLockStressMatchesPerChain(t *testing.T) {
+	run := func(perChain bool) (int64, int64, int64) {
+		cfg := DefaultConfig()
+		cfg.PerChain = perChain
+		e := newEngine(7)
+		w := New(cfg)
+		w.Start(e, 0)
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("w%d", i), i, func(th *sim.Thread) {
+				for j := 0; j < 25; j++ {
+					w.Schedule(th, func(*sim.Thread, any) {}, nil,
+						int64(th.Rand().Intn(200)+1)*1_000_000)
+					th.Sleep(5_000_000)
+				}
+			})
+		}
+		e.Spawn("ctl", 5, func(th *sim.Thread) {
+			th.Sleep(1_000_000_000)
+			w.Stop()
+		})
+		e.Run()
+		return w.Counts()
+	}
+	s1, c1, f1 := run(true)
+	s2, c2, f2 := run(false)
+	if s1 != s2 || c1 != c2 || f1 != f2 {
+		t.Fatalf("locking mode changed behaviour: %d/%d/%d vs %d/%d/%d",
+			s1, c1, f1, s2, c2, f2)
+	}
+	if f1 != 100 {
+		t.Fatalf("fired %d, want all 100", f1)
+	}
+}

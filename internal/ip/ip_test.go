@@ -1,0 +1,266 @@
+package ip
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/xkernel"
+)
+
+func run(t *testing.T, body func(th *sim.Thread)) {
+	t.Helper()
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("test", 0, body)
+	e.Run()
+}
+
+// loopLower models the MAC layer as a direct loop back into the IP
+// protocol's own Demux (the destination address is the local address).
+type loopLower struct {
+	p   *Protocol
+	mtu int
+}
+
+func (l *loopLower) Push(t *sim.Thread, m *msg.Message) error { return l.p.Demux(t, m) }
+func (l *loopLower) Close(t *sim.Thread) error                { return nil }
+
+// sink collects transport-level deliveries.
+type sink struct {
+	ref  sim.RefCount
+	msgs []*msg.Message
+}
+
+func newSink() *sink {
+	s := &sink{}
+	s.ref.Init(sim.RefAtomic, 1)
+	return s
+}
+func (s *sink) Demux(t *sim.Thread, m *msg.Message) error {
+	s.msgs = append(s.msgs, m)
+	return nil
+}
+func (s *sink) Ref() *sim.RefCount { return &s.ref }
+
+var hostA = xkernel.IPAddr{10, 0, 0, 1}
+
+func newStack(t *testing.T, th *sim.Thread, mtu int, wheel *event.Wheel) (*Protocol, *sink, *msg.Allocator) {
+	t.Helper()
+	alloc := msg.NewAllocator(msg.DefaultConfig(4))
+	var loop loopLower
+	low := LowerFDDI(mtu, func(t2 *sim.Thread, remote xkernel.MAC, proto uint16) (xkernel.Session, error) {
+		return &loop, nil
+	})
+	p := New(Config{Local: hostA}, low, wheel, alloc)
+	loop.p = p
+	loop.mtu = mtu
+	up := newSink()
+	if err := p.OpenEnable(th, ProtoUDP, up); err != nil {
+		t.Fatal(err)
+	}
+	return p, up, alloc
+}
+
+func TestSmallDatagramRoundTrip(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, up, alloc := newStack(t, th, 4352, nil)
+		s, err := p.Open(th, hostA, ProtoUDP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := alloc.New(th, 512, msg.Headroom)
+		for i := range m.Bytes() {
+			m.Bytes()[i] = byte(i * 3)
+		}
+		if err := s.Push(th, m); err != nil {
+			t.Fatal(err)
+		}
+		if len(up.msgs) != 1 {
+			t.Fatalf("delivered %d, want 1", len(up.msgs))
+		}
+		got := up.msgs[0]
+		if got.Len() != 512 {
+			t.Fatalf("len = %d, want 512", got.Len())
+		}
+		for i := 0; i < 512; i++ {
+			if got.Bytes()[i] != byte(i*3) {
+				t.Fatalf("byte %d damaged", i)
+			}
+		}
+		st := p.Stats()
+		if st.Sent != 1 || st.Received != 1 || st.FragsOut != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}
+
+func TestFragmentationAndReassembly(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		mtu := 256 // force several fragments for a 1000-byte payload
+		p, up, alloc := newStack(t, th, mtu, nil)
+		s, _ := p.Open(th, hostA, ProtoUDP)
+		m, _ := alloc.New(th, 1000, msg.Headroom)
+		for i := range m.Bytes() {
+			m.Bytes()[i] = byte(i % 251)
+		}
+		if err := s.Push(th, m); err != nil {
+			t.Fatal(err)
+		}
+		if len(up.msgs) != 1 {
+			t.Fatalf("delivered %d datagrams, want 1 (reassembled)", len(up.msgs))
+		}
+		got := up.msgs[0]
+		if got.Len() != 1000 {
+			t.Fatalf("reassembled len = %d, want 1000", got.Len())
+		}
+		for i := 0; i < 1000; i++ {
+			if got.Bytes()[i] != byte(i%251) {
+				t.Fatalf("byte %d damaged after reassembly", i)
+			}
+		}
+		st := p.Stats()
+		if st.FragsOut < 4 {
+			t.Errorf("FragsOut = %d, want >= 4", st.FragsOut)
+		}
+		if st.FragsIn != st.FragsOut {
+			t.Errorf("FragsIn = %d != FragsOut = %d", st.FragsIn, st.FragsOut)
+		}
+		if st.Reassembled != 1 {
+			t.Errorf("Reassembled = %d, want 1", st.Reassembled)
+		}
+	})
+}
+
+func TestDatagramIDsIncrement(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, _, alloc := newStack(t, th, 4352, nil)
+		s, _ := p.Open(th, hostA, ProtoUDP)
+		for i := 0; i < 3; i++ {
+			m, _ := alloc.New(th, 10, msg.Headroom)
+			if err := s.Push(th, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := p.id.Load(); got != 3 {
+			t.Errorf("datagram id counter = %d, want 3", got)
+		}
+	})
+}
+
+func TestHeaderChecksumValidated(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, up, alloc := newStack(t, th, 4352, nil)
+		m, _ := alloc.New(th, HdrLen+8, 0)
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+8, 1, 0, ProtoUDP, hostA, hostA)
+		m.Bytes()[4] ^= 0xff // corrupt after checksumming
+		if err := p.Demux(th, m); err != ErrBadChecksum {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+		if len(up.msgs) != 0 {
+			t.Error("corrupted packet delivered")
+		}
+		if p.Stats().ChecksumBad != 1 {
+			t.Error("ChecksumBad not counted")
+		}
+	})
+}
+
+func TestWrongDestinationRejected(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, _, alloc := newStack(t, th, 4352, nil)
+		m, _ := alloc.New(th, HdrLen+8, 0)
+		other := xkernel.IPAddr{10, 0, 0, 99}
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+8, 1, 0, ProtoUDP, hostA, other)
+		if err := p.Demux(th, m); err != ErrNotOurs {
+			t.Fatalf("err = %v, want ErrNotOurs", err)
+		}
+	})
+}
+
+func TestPromiscuousAcceptsAnyDestination(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		alloc := msg.NewAllocator(msg.DefaultConfig(4))
+		var loop loopLower
+		low := LowerFDDI(4352, func(*sim.Thread, xkernel.MAC, uint16) (xkernel.Session, error) {
+			return &loop, nil
+		})
+		p := New(Config{Local: hostA, Promiscuous: true}, low, nil, alloc)
+		loop.p, loop.mtu = p, 4352
+		up := newSink()
+		p.OpenEnable(th, ProtoUDP, up)
+		m, _ := alloc.New(th, HdrLen+8, 0)
+		other := xkernel.IPAddr{10, 0, 0, 99}
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+8, 1, 0, ProtoUDP, hostA, other)
+		if err := p.Demux(th, m); err != nil {
+			t.Fatalf("promiscuous demux failed: %v", err)
+		}
+		if len(up.msgs) != 1 {
+			t.Error("promiscuous packet not delivered")
+		}
+	})
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, _, alloc := newStack(t, th, 4352, nil)
+		m, _ := alloc.New(th, HdrLen+4, 0)
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+4, 1, 0, 99, hostA, hostA)
+		if err := p.Demux(th, m); err == nil {
+			t.Fatal("expected error for unknown transport")
+		}
+		if p.Stats().NotDeliverable != 1 {
+			t.Error("NotDeliverable not counted")
+		}
+	})
+}
+
+func TestReassemblyTimeoutDropsFragments(t *testing.T) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 2)
+	wheel := event.New(event.DefaultConfig())
+	wheel.Start(e, 0)
+	e.Spawn("test", 1, func(th *sim.Thread) {
+		p, up, alloc := newStack(t, th, 4352, wheel)
+		// Inject a lone first fragment (MF set), never the rest.
+		m, _ := alloc.New(th, HdrLen+64, 0)
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+64, 7, 0x2000, ProtoUDP, hostA, hostA)
+		if err := p.Demux(th, m); err != nil {
+			t.Fatal(err)
+		}
+		th.Sleep(ReassemblyTimeout + 1_000_000_000)
+		if len(up.msgs) != 0 {
+			t.Error("incomplete datagram delivered")
+		}
+		if p.Stats().TimedOut != 1 {
+			t.Errorf("TimedOut = %d, want 1", p.Stats().TimedOut)
+		}
+		wheel.Stop()
+	})
+	e.Run()
+}
+
+func TestShortPacketRejected(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, _, alloc := newStack(t, th, 4352, nil)
+		m, _ := alloc.New(th, 4, 0)
+		if err := p.Demux(th, m); err != ErrShort {
+			t.Fatalf("err = %v, want ErrShort", err)
+		}
+	})
+}
+
+func TestTrailingPadTrimmed(t *testing.T) {
+	run(t, func(th *sim.Thread) {
+		p, up, alloc := newStack(t, th, 4352, nil)
+		// 8 bytes of payload, 6 bytes of MAC pad after it.
+		m, _ := alloc.New(th, HdrLen+8+6, 0)
+		writeHeader(m.Bytes()[:HdrLen], HdrLen+8, 1, 0, ProtoUDP, hostA, hostA)
+		if err := p.Demux(th, m); err != nil {
+			t.Fatal(err)
+		}
+		if got := up.msgs[0].Len(); got != 8 {
+			t.Fatalf("delivered len = %d, want 8 (pad not trimmed)", got)
+		}
+	})
+}

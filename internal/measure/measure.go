@@ -1,0 +1,150 @@
+// Package measure implements the experimental methodology of Section 3:
+// each data point is the average of several runs, where a run measures
+// steady-state throughput for a fixed interval after a warm-up period;
+// throughput graphs carry 90 percent confidence intervals.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Result summarizes the runs of one configuration point.
+type Result struct {
+	Samples []float64
+	Mean    float64
+	CI90    float64 // half-width of the 90% confidence interval
+}
+
+// t90 holds two-sided 90% Student-t critical values by degrees of
+// freedom (index = df; 0 unused).
+var t90 = []float64{0, 6.314, 2.920, 2.353, 2.132, 2.015, 1.943,
+	1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753}
+
+// Summarize computes mean and 90% CI half-width from samples.
+func Summarize(samples []float64) Result {
+	r := Result{Samples: samples}
+	n := len(samples)
+	if n == 0 {
+		return r
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	r.Mean = sum / float64(n)
+	if n == 1 {
+		return r
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - r.Mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	t := 1.645 // normal approximation for large n
+	if df < len(t90) {
+		t = t90[df]
+	}
+	r.CI90 = t * sd / math.Sqrt(float64(n))
+	return r
+}
+
+// Speedup normalizes a curve to its first point ("speedup is normalized
+// relative to the uniprocessor throughput for that particular packet
+// size").
+func Speedup(points []Result) []float64 {
+	out := make([]float64, len(points))
+	if len(points) == 0 || points[0].Mean == 0 {
+		return out
+	}
+	base := points[0].Mean
+	for i, p := range points {
+		out[i] = p.Mean / base
+	}
+	return out
+}
+
+// Series is one curve of a figure: a label and one Result per x value.
+type Series struct {
+	Label  string
+	X      []int
+	Points []Result
+}
+
+// Table renders a figure as an aligned text table: one row per x value,
+// one column per series, entries "mean ±ci".
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Series  []Series
+	Speedup bool // render speedups instead of absolute values
+}
+
+// String renders the table.
+func (tb Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tb.Title)
+	if len(tb.Series) == 0 {
+		return b.String()
+	}
+	ylabel := tb.YLabel
+	if ylabel == "" {
+		ylabel = "Mbit/s"
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-6s", tb.XLabel)
+	for _, s := range tb.Series {
+		fmt.Fprintf(&b, " | %-24s", s.Label)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", ylabel)
+	width := 6 + len(tb.Series)*27 + 12
+	b.WriteString(strings.Repeat("-", width) + "\n")
+	xs := tb.Series[0].X
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%-6d", x)
+		for _, s := range tb.Series {
+			if i >= len(s.Points) {
+				fmt.Fprintf(&b, " | %-24s", "-")
+				continue
+			}
+			if tb.Speedup {
+				sp := Speedup(s.Points)
+				fmt.Fprintf(&b, " | %-24s", fmt.Sprintf("%6.2fx", sp[i]))
+			} else {
+				p := s.Points[i]
+				fmt.Fprintf(&b, " | %-24s", fmt.Sprintf("%8.1f ±%-6.1f", p.Mean, p.CI90))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (tb Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", tb.XLabel)
+	for _, s := range tb.Series {
+		fmt.Fprintf(&b, ",%s,%s_ci", s.Label, s.Label)
+	}
+	b.WriteString("\n")
+	if len(tb.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range tb.Series[0].X {
+		fmt.Fprintf(&b, "%d", x)
+		for _, s := range tb.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%.2f,%.2f", s.Points[i].Mean, s.Points[i].CI90)
+			} else {
+				b.WriteString(",,")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

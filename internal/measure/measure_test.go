@@ -1,0 +1,173 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	r := Summarize([]float64{100, 110, 90})
+	if math.Abs(r.Mean-100) > 1e-9 {
+		t.Errorf("mean = %v", r.Mean)
+	}
+	if r.CI90 <= 0 {
+		t.Error("CI90 should be positive for varying samples")
+	}
+	// t(2df, 90%) = 2.920; sd = 10; ci = 2.920*10/sqrt(3).
+	want := 2.920 * 10 / math.Sqrt(3)
+	if math.Abs(r.CI90-want) > 1e-6 {
+		t.Errorf("CI90 = %v, want %v", r.CI90, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if r := Summarize(nil); r.Mean != 0 || r.CI90 != 0 {
+		t.Error("empty summarize not zero")
+	}
+	if r := Summarize([]float64{42}); r.Mean != 42 || r.CI90 != 0 {
+		t.Error("single sample must have zero CI")
+	}
+	r := Summarize([]float64{5, 5, 5, 5})
+	if r.CI90 != 0 {
+		t.Error("identical samples must have zero CI")
+	}
+}
+
+func TestSummarizeMeanInRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		r := Summarize(xs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return r.Mean >= lo-1e-6 && r.Mean <= hi+1e-6 && r.CI90 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupNormalizesToFirstPoint(t *testing.T) {
+	pts := []Result{{Mean: 50}, {Mean: 100}, {Mean: 150}}
+	sp := Speedup(pts)
+	if sp[0] != 1 || sp[1] != 2 || sp[2] != 3 {
+		t.Fatalf("speedup = %v", sp)
+	}
+	if sp := Speedup(nil); len(sp) != 0 {
+		t.Error("empty speedup not empty")
+	}
+	if sp := Speedup([]Result{{Mean: 0}, {Mean: 5}}); sp[1] != 0 {
+		t.Error("zero base must not divide")
+	}
+}
+
+func testTable() Table {
+	return Table{
+		Title:  "Test Figure",
+		XLabel: "procs",
+		Series: []Series{
+			{Label: "A", X: []int{1, 2}, Points: []Result{{Mean: 10, CI90: 1}, {Mean: 20, CI90: 2}}},
+			{Label: "B", X: []int{1, 2}, Points: []Result{{Mean: 5}, {Mean: 9}}},
+		},
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := testTable().String()
+	for _, want := range []string{"Test Figure", "procs", "A", "B", "10.0", "20.0", "±1", "Mbit/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableSpeedupMode(t *testing.T) {
+	tb := testTable()
+	tb.Speedup = true
+	s := tb.String()
+	if !strings.Contains(s, "2.00x") {
+		t.Errorf("speedup table missing 2.00x:\n%s", s)
+	}
+	if !strings.Contains(s, "1.80x") {
+		t.Errorf("speedup table missing B's 1.80x:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	c := testTable().CSV()
+	lines := strings.Split(strings.TrimSpace(c), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), c)
+	}
+	if !strings.HasPrefix(lines[0], "procs,A,A_ci,B,B_ci") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,10.00,1.00,5.00,0.00") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestTableShortSeriesRendersDash(t *testing.T) {
+	tb := testTable()
+	tb.Series[1].Points = tb.Series[1].Points[:1] // B has fewer points
+	s := tb.String()
+	if !strings.Contains(s, "-") {
+		t.Errorf("short series should render '-':\n%s", s)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := Table{Title: "empty"}
+	if !strings.Contains(tb.String(), "empty") {
+		t.Error("empty table lost title")
+	}
+	if tb.CSV() == "" {
+		t.Error("empty CSV should still have a header line")
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	tb := testTable()
+	p := tb.Plot(40, 10)
+	if !strings.Contains(p, "Test Figure") {
+		t.Error("plot missing title")
+	}
+	if !strings.Contains(p, "* = A") || !strings.Contains(p, "o = B") {
+		t.Errorf("plot missing legend:\n%s", p)
+	}
+	if !strings.Contains(p, "*") || !strings.Contains(p, "o") {
+		t.Error("plot missing data glyphs")
+	}
+	lines := strings.Split(p, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotSpeedupMode(t *testing.T) {
+	tb := testTable()
+	tb.Speedup = true
+	p := tb.Plot(40, 10)
+	if !strings.Contains(p, "relative") && !strings.Contains(p, "Mbit/s") {
+		// YLabel empty -> falls back; just ensure it rendered.
+		t.Errorf("plot did not render:\n%s", p)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	tb := Table{Title: "empty"}
+	if !strings.Contains(tb.Plot(40, 10), "no data") {
+		t.Error("empty plot should say so")
+	}
+}

@@ -1,0 +1,114 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the table's series as an ASCII chart, one glyph per
+// series — a terminal rendition of the paper's figures. Rows are the y
+// axis (value), columns the x axis (typically processors).
+func (tb Table) Plot(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(tb.Series) == 0 || len(tb.Series[0].X) == 0 {
+		return tb.Title + "\n(no data)\n"
+	}
+
+	glyphs := []byte("*o+x#@%&")
+	// Value extraction honours speedup mode.
+	value := func(s Series, i int) (float64, bool) {
+		if i >= len(s.Points) {
+			return 0, false
+		}
+		if tb.Speedup {
+			return Speedup(s.Points)[i], true
+		}
+		return s.Points[i].Mean, true
+	}
+
+	// Bounds.
+	xs := tb.Series[0].X
+	minX, maxX := xs[0], xs[0]
+	for _, s := range tb.Series {
+		for _, x := range s.X {
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+		}
+	}
+	maxY := 0.0
+	for _, s := range tb.Series {
+		for i := range s.X {
+			if v, ok := value(s, i); ok && v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x int) int {
+		if maxX == minX {
+			return 0
+		}
+		return (x - minX) * (width - 1) / (maxX - minX)
+	}
+	row := func(v float64) int {
+		r := height - 1 - int(math.Round(v/maxY*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range tb.Series {
+		g := glyphs[si%len(glyphs)]
+		for i, x := range s.X {
+			if v, ok := value(s, i); ok {
+				grid[row(v)][col(x)] = g
+			}
+		}
+	}
+
+	ylabel := tb.YLabel
+	if ylabel == "" {
+		ylabel = "Mbit/s"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", tb.Title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.0f ", maxY)
+		case height / 2:
+			label = fmt.Sprintf("%7.0f ", maxY/2)
+		case height - 1:
+			label = fmt.Sprintf("%7.0f ", 0.0)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "%s%-*d%d  (%s)\n", strings.Repeat(" ", 9), width-1, minX, maxX, tb.XLabel)
+	for si, s := range tb.Series {
+		fmt.Fprintf(&b, "   %c = %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+	fmt.Fprintf(&b, "   y: %s\n", ylabel)
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+func benchAlloc(b *testing.B, cache bool, size int) {
+	cfg := DefaultConfig(4)
+	cfg.CacheEnabled = cache
+	a := NewAllocator(cfg)
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			m, err := a.New(th, size, Headroom)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			m.Free(th)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkAllocCached4K(b *testing.B)   { benchAlloc(b, true, 4096) }
+func BenchmarkAllocUncached4K(b *testing.B) { benchAlloc(b, false, 4096) }
+
+func BenchmarkPushPop(b *testing.B) {
+	a := NewAllocator(DefaultConfig(4))
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		m, _ := a.New(th, 1024, Headroom)
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Push(th, 24); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := m.Pop(th, 24); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		m.Free(th)
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkCloneFree(b *testing.B) {
+	a := NewAllocator(DefaultConfig(4))
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		m, _ := a.New(th, 4096, Headroom)
+		for i := 0; i < b.N; i++ {
+			c := m.Clone(th)
+			c.Free(th)
+		}
+		m.Free(th)
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,375 @@
+// Package msg implements the x-kernel message tool: the facility for
+// managing packet data, analogous to Berkeley mbufs (Section 2.1 of the
+// paper).
+//
+// Messages are per-thread data structures and need no locks. They point
+// to allocated buffers called MNodes, which are reference counted; the
+// counts are manipulated atomically (or with lock-increment-unlock, the
+// Section 5.2 comparison). MNodes come from per-processor LIFO caches
+// when caching is enabled (Section 6) and otherwise from a global arena
+// whose single lock models malloc's.
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Headroom is the space reserved in front of application data for
+// headers pushed on the way down the stack (TCP 20 + IP 20 + FDDI 16).
+const Headroom = 64
+
+// classes are the MNode buffer size classes.
+var classes = [...]int{128, 512, 2048, 8192}
+
+// ErrNoRoom is returned when a header push or pop exceeds the buffer.
+var ErrNoRoom = errors.New("msg: not enough room")
+
+// Config controls allocator behaviour.
+type Config struct {
+	// CacheEnabled selects per-processor LIFO MNode caches; when
+	// false, every allocation goes through the global locked arena
+	// (the paper's "messages not cached" curves).
+	CacheEnabled bool
+	// RefMode selects atomic vs lock-based reference counts.
+	RefMode sim.RefMode
+	// MaxProcs sizes the per-processor cache array.
+	MaxProcs int
+	// CacheDepth bounds each per-processor per-class free list.
+	CacheDepth int
+}
+
+// DefaultConfig returns the baseline configuration used by the paper's
+// Section 3 experiments: caching on, atomic reference counts.
+func DefaultConfig(maxProcs int) Config {
+	return Config{
+		CacheEnabled: true,
+		RefMode:      sim.RefAtomic,
+		MaxProcs:     maxProcs,
+		CacheDepth:   128,
+	}
+}
+
+// MNode is one reference-counted buffer.
+type MNode struct {
+	buf      []byte
+	class    int
+	ref      sim.RefCount
+	alloc    *Allocator
+	next     *MNode
+	lastProc int // processor that last used this buffer
+}
+
+// Stats counts allocator activity (engine-serialized plain counters).
+type Stats struct {
+	CacheHits   int64
+	CacheMisses int64
+	ArenaAllocs int64 // fresh buffers created by the arena
+	Frees       int64
+}
+
+type procCache struct {
+	free  [len(classes)]*MNode
+	count [len(classes)]int
+	_pad  [32]byte // keep per-processor state notionally apart
+}
+
+// Allocator hands out MNodes.
+type Allocator struct {
+	cfg       Config
+	perProc   []procCache
+	arenaLock sim.Mutex
+	arena     [len(classes)]*MNode
+	stats     Stats
+}
+
+// NewAllocator builds an allocator for the given configuration.
+func NewAllocator(cfg Config) *Allocator {
+	if cfg.MaxProcs <= 0 {
+		cfg.MaxProcs = 1
+	}
+	if cfg.CacheDepth <= 0 {
+		cfg.CacheDepth = 128
+	}
+	a := &Allocator{cfg: cfg, perProc: make([]procCache, cfg.MaxProcs)}
+	a.arenaLock.Name = "malloc"
+	return a
+}
+
+// Stats returns a copy of the counters.
+func (a *Allocator) Stats() Stats { return a.stats }
+
+// ArenaLockStats exposes the malloc-lock contention statistics.
+func (a *Allocator) ArenaLockStats() sim.LockStats { return a.arenaLock.Stats() }
+
+func classFor(size int) (int, error) {
+	for i, c := range classes {
+		if size <= c {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("msg: size %d exceeds largest class %d", size, classes[len(classes)-1])
+}
+
+// getNode produces an MNode whose buffer holds at least size bytes.
+func (a *Allocator) getNode(t *sim.Thread, size int) (*MNode, error) {
+	cl, err := classFor(size)
+	if err != nil {
+		return nil, err
+	}
+	st := &t.Engine().C.Stack
+	if a.cfg.CacheEnabled {
+		pc := &a.perProc[t.Proc%len(a.perProc)]
+		if n := pc.free[cl]; n != nil {
+			pc.free[cl] = n.next
+			pc.count[cl]--
+			n.next = nil
+			a.stats.CacheHits++
+			t.ChargeRand(st.MsgAllocCached)
+			n.lastProc = t.Proc
+			n.ref.Init(a.cfg.RefMode, 1)
+			return n, nil
+		}
+		a.stats.CacheMisses++
+	}
+	// Global arena: the malloc path, serialized by one lock.
+	a.arenaLock.Acquire(t)
+	t.ChargeRand(st.MsgAllocArena)
+	n := a.arena[cl]
+	if n != nil {
+		a.arena[cl] = n.next
+		n.next = nil
+	} else {
+		a.stats.ArenaAllocs++
+		n = &MNode{buf: make([]byte, classes[cl]), class: cl, alloc: a, lastProc: -1}
+	}
+	a.arenaLock.Release(t)
+	// A buffer last used by another processor comes back with remote
+	// cache lines: the memory contention per-processor caching avoids.
+	if n.lastProc >= 0 && n.lastProc != t.Proc {
+		t.ChargeRand(st.MsgCold * int64(classes[cl]) / 4096)
+	}
+	n.lastProc = t.Proc
+	n.ref.Init(a.cfg.RefMode, 1)
+	return n, nil
+}
+
+// putNode returns a zero-referenced node to the per-processor cache or
+// the arena.
+func (a *Allocator) putNode(t *sim.Thread, n *MNode) {
+	st := &t.Engine().C.Stack
+	t.ChargeRand(st.MsgFree)
+	a.stats.Frees++
+	if a.cfg.CacheEnabled {
+		pc := &a.perProc[t.Proc%len(a.perProc)]
+		if pc.count[n.class] < a.cfg.CacheDepth {
+			n.next = pc.free[n.class]
+			pc.free[n.class] = n
+			pc.count[n.class]++
+			return
+		}
+	}
+	a.arenaLock.Acquire(t)
+	n.next = a.arena[n.class]
+	a.arena[n.class] = n
+	a.arenaLock.Release(t)
+}
+
+// Message is a per-thread view [head, tail) into an MNode's buffer.
+type Message struct {
+	node *MNode
+	head int
+	tail int
+
+	// Ticket carries the Section 4.2 up-ticket from TCP to the
+	// application when ticketing is enabled.
+	Ticket   uint64
+	Ticketed bool
+
+	// Seq carries driver-side ordering metadata for the wire-order
+	// probes (not protocol state).
+	Seq uint64
+
+	// SrcAddr and DstAddr are message attributes set by the IP layer
+	// on the way up so transports can rebuild their demux keys (the
+	// x-kernel passes such out-of-band data as message attributes).
+	SrcAddr [4]byte
+	DstAddr [4]byte
+}
+
+// New allocates a message with size bytes of payload space and the given
+// headroom in front of it.
+func (a *Allocator) New(t *sim.Thread, size, headroom int) (*Message, error) {
+	n, err := a.getNode(t, size+headroom)
+	if err != nil {
+		return nil, err
+	}
+	return &Message{node: n, head: headroom, tail: headroom + size}, nil
+}
+
+// Len returns the view length.
+func (m *Message) Len() int { return m.tail - m.head }
+
+// Bytes returns the current view. The caller must treat it as owned by
+// this message only while the node is unshared.
+func (m *Message) Bytes() []byte { return m.node.buf[m.head:m.tail] }
+
+// Headroom reports the space available for Push.
+func (m *Message) Headroom() int { return m.head }
+
+// Push prepends an n-byte header and returns the slice to fill in. If
+// the node is shared (a retransmission clone, a fragment), the data is
+// first copied to a private node — x-kernel messages never scribble on
+// shared buffers.
+func (m *Message) Push(t *sim.Thread, n int) ([]byte, error) {
+	st := &t.Engine().C.Stack
+	if m.node.ref.Value() > 1 {
+		if err := m.privatize(t); err != nil {
+			return nil, err
+		}
+	}
+	if m.head < n {
+		return nil, ErrNoRoom
+	}
+	t.ChargeRand(st.MsgOp)
+	m.head -= n
+	return m.node.buf[m.head : m.head+n], nil
+}
+
+// Pop strips an n-byte header from the front and returns it.
+func (m *Message) Pop(t *sim.Thread, n int) ([]byte, error) {
+	if m.Len() < n {
+		return nil, ErrNoRoom
+	}
+	t.ChargeRand(t.Engine().C.Stack.MsgOp)
+	h := m.node.buf[m.head : m.head+n]
+	m.head += n
+	return h, nil
+}
+
+// Peek returns the first n bytes without stripping them.
+func (m *Message) Peek(n int) ([]byte, error) {
+	if m.Len() < n {
+		return nil, ErrNoRoom
+	}
+	return m.node.buf[m.head : m.head+n], nil
+}
+
+// TrimBack drops n bytes from the end of the view.
+func (m *Message) TrimBack(t *sim.Thread, n int) error {
+	if m.Len() < n {
+		return ErrNoRoom
+	}
+	t.ChargeRand(t.Engine().C.Stack.MsgOp)
+	m.tail -= n
+	return nil
+}
+
+// TrimFront drops n bytes from the start of the view.
+func (m *Message) TrimFront(t *sim.Thread, n int) error {
+	if m.Len() < n {
+		return ErrNoRoom
+	}
+	t.ChargeRand(t.Engine().C.Stack.MsgOp)
+	m.head += n
+	return nil
+}
+
+// privatize copies the view into a fresh unshared node, preserving
+// Headroom for further pushes.
+func (m *Message) privatize(t *sim.Thread) error {
+	ln := m.Len()
+	n, err := m.node.alloc.getNode(t, ln+Headroom)
+	if err != nil {
+		return err
+	}
+	t.ChargeBytes(t.Engine().C.Stack.CopyByte, ln)
+	copy(n.buf[Headroom:], m.node.buf[m.head:m.tail])
+	old := m.node
+	m.node = n
+	m.head = Headroom
+	m.tail = Headroom + ln
+	if old.ref.Decr(t) {
+		old.alloc.putNode(t, old)
+	}
+	return nil
+}
+
+// Clone returns a second view of the same node (reference counted).
+// TCP's retransmission queue holds clones of transmitted segments.
+func (m *Message) Clone(t *sim.Thread) *Message {
+	m.node.ref.Incr(t)
+	c := *m
+	return &c
+}
+
+// Fragment returns a view of the sub-range [off, off+n) sharing the same
+// node — zero-copy IP fragmentation.
+func (m *Message) Fragment(t *sim.Thread, off, n int) (*Message, error) {
+	if off < 0 || n < 0 || off+n > m.Len() {
+		return nil, ErrNoRoom
+	}
+	m.node.ref.Incr(t)
+	return &Message{node: m.node, head: m.head + off, tail: m.head + off + n}, nil
+}
+
+// Free drops this view's reference, returning the node to the allocator
+// at zero.
+func (m *Message) Free(t *sim.Thread) {
+	if m.node == nil {
+		return
+	}
+	n := m.node
+	m.node = nil
+	if n.ref.Decr(t) {
+		n.alloc.putNode(t, n)
+	}
+}
+
+// Refs exposes the node's reference count (tests, assertions).
+func (m *Message) Refs() int32 { return m.node.ref.Value() }
+
+// CopyIn writes data at offset off within the view, charging per-byte
+// copy cost.
+func (m *Message) CopyIn(t *sim.Thread, off int, data []byte) error {
+	if off < 0 || off+len(data) > m.Len() {
+		return ErrNoRoom
+	}
+	t.ChargeBytes(t.Engine().C.Stack.CopyByte, len(data))
+	copy(m.node.buf[m.head+off:], data)
+	return nil
+}
+
+// CopyTemplate writes data at the front of the view *without* per-byte
+// charge: the driver's preconstructed-template trick (Section 2.3),
+// whose whole point is avoiding per-byte work in the driver.
+func (m *Message) CopyTemplate(off int, data []byte) error {
+	if off < 0 || off+len(data) > m.Len() {
+		return ErrNoRoom
+	}
+	copy(m.node.buf[m.head+off:], data)
+	return nil
+}
+
+// Join concatenates parts into one fresh contiguous message (IP
+// reassembly), charging per-byte copy. The parts are freed.
+func Join(t *sim.Thread, a *Allocator, parts []*Message) (*Message, error) {
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	out, err := a.New(t, total, Headroom)
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	for _, p := range parts {
+		t.ChargeBytes(t.Engine().C.Stack.CopyByte, p.Len())
+		copy(out.node.buf[out.head+off:], p.Bytes())
+		off += p.Len()
+		p.Free(t)
+	}
+	return out, nil
+}

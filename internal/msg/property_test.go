@@ -1,0 +1,162 @@
+package msg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// TestMessageOpsAgainstReferenceModel drives random sequences of
+// message operations (push, pop, trim front/back) against a plain
+// byte-slice model; the views must agree after every step.
+func TestMessageOpsAgainstReferenceModel(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			e := sim.New(cost.NewModel(cost.Challenge100), uint64(trial))
+			e.Spawn("test", 0, func(th *sim.Thread) {
+				rng := sim.NewRand(uint64(trial*101 + 3))
+				a := NewAllocator(DefaultConfig(4))
+				size := 64 + rng.Intn(512)
+				m, err := a.New(th, size, Headroom)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				model := make([]byte, size)
+				for i := range model {
+					model[i] = byte(rng.Intn(256))
+				}
+				if err := m.CopyIn(th, 0, model); err != nil {
+					t.Error(err)
+					return
+				}
+				headroomLeft := Headroom
+				for step := 0; step < 60; step++ {
+					switch rng.Intn(4) {
+					case 0: // push a header
+						n := 1 + rng.Intn(16)
+						h, err := m.Push(th, n)
+						if n > headroomLeft {
+							if err != ErrNoRoom {
+								t.Errorf("step %d: push beyond headroom err=%v", step, err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("step %d: push: %v", step, err)
+							return
+						}
+						hdr := make([]byte, n)
+						for i := range hdr {
+							hdr[i] = byte(rng.Intn(256))
+						}
+						copy(h, hdr)
+						model = append(hdr, model...)
+						headroomLeft -= n
+					case 1: // pop a header
+						n := 1 + rng.Intn(16)
+						h, err := m.Pop(th, n)
+						if n > len(model) {
+							if err != ErrNoRoom {
+								t.Errorf("step %d: pop beyond len err=%v", step, err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("step %d: pop: %v", step, err)
+							return
+						}
+						if !bytes.Equal(h, model[:n]) {
+							t.Errorf("step %d: popped bytes differ", step)
+							return
+						}
+						model = model[n:]
+						headroomLeft += n
+					case 2: // trim front
+						n := 1 + rng.Intn(8)
+						err := m.TrimFront(th, n)
+						if n > len(model) {
+							if err != ErrNoRoom {
+								t.Errorf("step %d: overtrim front err=%v", step, err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("step %d: trim front: %v", step, err)
+							return
+						}
+						model = model[n:]
+						headroomLeft += n
+					case 3: // trim back
+						n := 1 + rng.Intn(8)
+						err := m.TrimBack(th, n)
+						if n > len(model) {
+							if err != ErrNoRoom {
+								t.Errorf("step %d: overtrim back err=%v", step, err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("step %d: trim back: %v", step, err)
+							return
+						}
+						model = model[:len(model)-n]
+					}
+					if m.Len() != len(model) {
+						t.Errorf("step %d: len %d != model %d", step, m.Len(), len(model))
+						return
+					}
+					if !bytes.Equal(m.Bytes(), model) {
+						t.Errorf("step %d: contents diverged", step)
+						return
+					}
+				}
+				m.Free(th)
+			})
+			e.Run()
+		})
+	}
+}
+
+// TestFragmentViewsMatchModel: random fragment views must always see
+// exactly their slice of the parent.
+func TestFragmentViewsMatchModel(t *testing.T) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 9)
+	e.Spawn("test", 0, func(th *sim.Thread) {
+		rng := sim.NewRand(1234)
+		a := NewAllocator(DefaultConfig(4))
+		m, _ := a.New(th, 1000, Headroom)
+		model := make([]byte, 1000)
+		for i := range model {
+			model[i] = byte(rng.Intn(256))
+		}
+		m.CopyIn(th, 0, model)
+		for i := 0; i < 100; i++ {
+			off := rng.Intn(1000)
+			n := rng.Intn(1000 - off + 1)
+			f, err := m.Fragment(th, off, n)
+			if err != nil {
+				t.Errorf("fragment(%d,%d): %v", off, n, err)
+				return
+			}
+			if !bytes.Equal(f.Bytes(), model[off:off+n]) {
+				t.Errorf("fragment(%d,%d) content mismatch", off, n)
+				return
+			}
+			f.Free(th)
+		}
+		if m.Refs() != 1 {
+			t.Errorf("refs leaked: %d", m.Refs())
+		}
+		m.Free(th)
+	})
+	e.Run()
+}

@@ -1,0 +1,84 @@
+package sim
+
+// Wall-clock micro-benchmarks of the simulation engine itself: how fast
+// the simulator executes, not how fast the simulated machine is.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func BenchmarkEngineSyncHandoff(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Charge(10)
+			th.Sync()
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkUncontendedMutex(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var m Mutex
+	e.Spawn("t", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			m.Acquire(th)
+			m.Release(th)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkContendedMutex4Threads(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var m Mutex
+	per := b.N/4 + 1
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, func(th *Thread) {
+			for j := 0; j < per; j++ {
+				m.Acquire(th)
+				th.Charge(5000)
+				m.Release(th)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkContendedMCS4Threads(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var m MCSLock
+	per := b.N/4 + 1
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, func(th *Thread) {
+			for j := 0; j < per; j++ {
+				m.Acquire(th)
+				th.Charge(5000)
+				m.Release(th)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkAtomicRefCount(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var rc RefCount
+	rc.Init(RefAtomic, 1)
+	e.Spawn("t", 0, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			rc.Incr(th)
+			rc.Decr(th)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

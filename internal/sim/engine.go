@@ -1,0 +1,404 @@
+// Package sim implements a deterministic discrete-event simulation of a
+// shared-memory multiprocessor, the substrate on which the parallelized
+// protocol stacks of this repository execute.
+//
+// The model: P virtual processors each run one protocol thread (the paper
+// wires one IRIX thread per CPU). Threads are goroutines, but the engine
+// resumes exactly one at a time — always the runnable thread with the
+// smallest virtual clock — so execution is sequential, race-free and
+// reproducible. Protocol code is real; only time is virtual: threads
+// charge virtual nanoseconds from the cost model (internal/cost) as they
+// work, and synchronize through simulated locks whose contention,
+// backoff-probe timing and cache-coherence penalties are modeled
+// explicitly (see lock.go).
+//
+// Rules for code running on the engine:
+//
+//   - Pure computation on thread-owned data (messages, headers) needs no
+//     engine interaction; charge its cost with Thread.Charge.
+//   - Any touch of shared simulation state (protocol control blocks, maps,
+//     free lists, counters) must happen either under a simulated lock or
+//     immediately after Thread.Sync, which parks the thread until it holds
+//     the minimum virtual time. Because the engine serializes execution,
+//     such accesses are free of data races in the Go sense; Sync ordering
+//     makes them correct in virtual time as well.
+//   - Statistics counters may be updated with plain operations (they are
+//     engine-serialized and deterministic); results tolerate the small
+//     virtual-time slop this implies.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+)
+
+// threadState tracks where a thread is in its lifecycle.
+type threadState int32
+
+const (
+	stateNew threadState = iota
+	stateReady
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Thread is one simulated thread of control, bound to a virtual
+// processor. It doubles as the per-processor context that the x-kernel
+// passes implicitly: per-processor resource caches and map-manager
+// counting locks key off Thread.Proc.
+type Thread struct {
+	eng  *Engine
+	name string
+
+	// ID is a unique small integer, assigned at spawn.
+	ID int
+	// Proc is the virtual processor this thread currently runs on.
+	// With wired threads (the paper's configuration) it never changes.
+	Proc int
+
+	vt      int64 // local virtual clock, ns
+	pushSeq int64 // FIFO tiebreak among equal clocks
+	state   threadState
+	resume  chan struct{}
+
+	rng Rand
+
+	// blockReason aids deadlock dumps.
+	blockReason string
+
+	// panicVal carries a panic from the thread goroutine to the Run
+	// caller.
+	panicVal any
+}
+
+// Engine is the discrete-event scheduler.
+type Engine struct {
+	C *cost.Model
+
+	yieldC  chan *Thread
+	heap    []*Thread
+	pushCtr int64
+	now     int64
+	live    int
+	cur     *Thread
+	nextID  int
+	rng     Rand
+	started bool
+
+	// Trace, when non-nil, receives one line per scheduling decision;
+	// used by tests.
+	Trace func(string)
+
+	// refPool is the finite set of static global locks used for
+	// lock-based reference-count manipulation (RefLocked mode); the
+	// x-kernel/SICS systems used such a pool rather than a lock per
+	// object (Section 2.1).
+	refPool [2]Mutex
+	refSeq  int
+}
+
+// New creates an engine with the given cost model and seed.
+func New(model *cost.Model, seed uint64) *Engine {
+	if model == nil {
+		model = cost.NewModel(cost.Challenge100)
+	}
+	return &Engine{
+		C:      model,
+		yieldC: make(chan *Thread),
+		rng:    NewRand(seed),
+	}
+}
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() int64 { return e.now }
+
+// Spawn creates a thread bound to processor proc and schedules it at the
+// current virtual time. It may be called before Run or from a running
+// thread.
+func (e *Engine) Spawn(name string, proc int, fn func(*Thread)) *Thread {
+	t := &Thread{
+		eng:    e,
+		name:   name,
+		ID:     e.nextID,
+		Proc:   proc,
+		vt:     e.now,
+		state:  stateNew,
+		resume: make(chan struct{}),
+		rng:    NewRand(e.rng.Uint64()),
+	}
+	e.nextID++
+	e.live++
+	go func() {
+		<-t.resume
+		defer func() {
+			t.panicVal = recover()
+			t.state = stateDone
+			t.eng.yieldC <- t
+		}()
+		fn(t)
+	}()
+	e.push(t)
+	return t
+}
+
+// Run drives the simulation until every thread has terminated. It panics
+// with a state dump if all remaining threads are blocked (deadlock).
+func (e *Engine) Run() {
+	e.RunUntil(-1)
+}
+
+// RunUntil drives the simulation until all threads terminate or the
+// virtual clock would pass limit (limit < 0 means no limit). It returns
+// the number of live threads remaining.
+func (e *Engine) RunUntil(limit int64) int {
+	if e.started {
+		panic("sim: Run called reentrantly")
+	}
+	e.started = true
+	defer func() { e.started = false }()
+
+	for e.live > 0 {
+		t := e.pop()
+		if t == nil {
+			panic("sim: deadlock — all threads blocked\n" + e.dump())
+		}
+		if limit >= 0 && t.vt > limit {
+			e.push(t)
+			return e.live
+		}
+		if t.vt > e.now {
+			e.now = t.vt
+		} else {
+			// A thread woken "in the past" (e.g. granted a lock
+			// released at an earlier point than the clock has
+			// reached) resumes now.
+			t.vt = e.now
+		}
+		t.state = stateRunning
+		e.cur = t
+		if e.Trace != nil {
+			e.Trace(fmt.Sprintf("t=%d run %s", e.now, t.name))
+		}
+		t.resume <- struct{}{}
+		y := <-e.yieldC
+		e.cur = nil
+		switch y.state {
+		case stateReady:
+			e.push(y)
+		case stateBlocked:
+			// Will be re-pushed by a Wake.
+		case stateDone:
+			e.live--
+			if y.panicVal != nil {
+				// Re-raise a thread's panic on the Run caller's
+				// goroutine so library users (and tests) can
+				// recover it.
+				panic(y.panicVal)
+			}
+		default:
+			panic("sim: thread yielded in state " + y.state.String())
+		}
+	}
+	return 0
+}
+
+// Wake marks a blocked thread runnable no earlier than virtual time at.
+// It must be called from a running thread (or the event path of one);
+// the engine's serialization makes it safe.
+func (e *Engine) Wake(t *Thread, at int64) {
+	if t.state != stateBlocked {
+		panic("sim: Wake of " + t.name + " in state " + t.state.String())
+	}
+	if at > t.vt {
+		t.vt = at
+	}
+	e.push(t)
+}
+
+// push marks t ready and inserts it into the scheduler heap.
+func (e *Engine) push(t *Thread) {
+	t.state = stateReady
+	e.pushCtr++
+	t.pushSeq = e.pushCtr
+	e.heap = append(e.heap, t)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !threadLess(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+func (e *Engine) pop() *Thread {
+	n := len(e.heap)
+	if n == 0 {
+		return nil
+	}
+	t := e.heap[0]
+	e.heap[0] = e.heap[n-1]
+	e.heap[n-1] = nil
+	e.heap = e.heap[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && threadLess(e.heap[l], e.heap[m]) {
+			m = l
+		}
+		if r < n && threadLess(e.heap[r], e.heap[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		e.heap[i], e.heap[m] = e.heap[m], e.heap[i]
+		i = m
+	}
+	return t
+}
+
+func threadLess(a, b *Thread) bool {
+	if a.vt != b.vt {
+		return a.vt < b.vt
+	}
+	return a.pushSeq < b.pushSeq
+}
+
+func (e *Engine) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time %d ns, %d live threads\n", e.now, e.live)
+	var lines []string
+	collect := func(t *Thread) {
+		lines = append(lines, fmt.Sprintf("  %-24s proc=%d vt=%d state=%s reason=%s",
+			t.name, t.Proc, t.vt, t.state, t.blockReason))
+	}
+	for _, t := range e.heap {
+		collect(t)
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// ---- Thread operations ----
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Engine returns the owning engine.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Rand returns the thread's private PRNG.
+func (t *Thread) Rand() *Rand { return &t.rng }
+
+// Now returns the thread's local virtual clock. Between Syncs it may run
+// ahead of Engine.Now.
+func (t *Thread) Now() int64 { return t.vt }
+
+// Charge advances the thread's virtual clock by ns of work.
+func (t *Thread) Charge(ns int64) {
+	if ns > 0 {
+		t.vt += ns
+	}
+}
+
+// ChargeRand charges ns with the model's jitter applied.
+func (t *Thread) ChargeRand(ns int64) {
+	t.Charge(t.rng.Jitter(ns, t.eng.C.JitterFrac))
+}
+
+// ChargeBytes charges per-byte work at rate ns/byte.
+func (t *Thread) ChargeBytes(rate float64, n int) {
+	t.Charge(cost.Bytes(rate, n))
+}
+
+// yield hands control to the engine and waits to be resumed (except for
+// stateDone, which never resumes).
+func (t *Thread) yield(s threadState) {
+	t.state = s
+	t.eng.yieldC <- t
+	<-t.resume
+}
+
+// Sync parks the thread until it holds the minimum virtual time among
+// runnable threads. On return it is safe to operate on shared simulation
+// state: all events before this thread's clock have already executed.
+func (t *Thread) Sync() {
+	t.yield(stateReady)
+}
+
+// Block parks the thread until another thread calls Engine.Wake on it.
+// reason appears in deadlock dumps.
+func (t *Thread) Block(reason string) {
+	t.blockReason = reason
+	t.yield(stateBlocked)
+	t.blockReason = ""
+}
+
+// Sleep advances the clock by d and parks until the engine catches up.
+func (t *Thread) Sleep(d int64) {
+	t.Charge(d)
+	t.Sync()
+}
+
+// SleepUntil parks the thread until virtual time at (no-op if already
+// past).
+func (t *Thread) SleepUntil(at int64) {
+	if at > t.vt {
+		t.vt = at
+	}
+	t.Sync()
+}
+
+// Yield models an explicit processor yield (sched_yield): the send-side
+// test threads yield after every packet, as described in Section 3.
+func (t *Thread) Yield() {
+	t.Charge(t.eng.C.Stack.Yield)
+	t.Sync()
+}
+
+// Interfere charges the occasional large delay a thread suffers from
+// cache/TLB interference or stray OS activity: with probability
+// Model.InterfereProb it loses uniform(0, Model.InterfereMax) virtual ns.
+// Drivers invoke it while a packet is carried up the stack; the ordered
+// application invokes it between the transport and the ticket wait.
+func (t *Thread) Interfere() {
+	m := t.eng.C
+	if m.InterfereProb > 0 && t.rng.Float64() < m.InterfereProb {
+		t.Charge(int64(t.rng.Uint64() % uint64(m.InterfereMax)))
+	}
+}
+
+// MigrateTo moves an unwired thread to another processor, paying the
+// cache-affinity penalty.
+func (t *Thread) MigrateTo(proc int) {
+	if proc == t.Proc {
+		return
+	}
+	t.Proc = proc
+	t.ChargeRand(t.eng.C.Stack.Migrate)
+}

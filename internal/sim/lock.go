@@ -1,0 +1,366 @@
+package sim
+
+// Simulated locks. Contention, probe timing and coherence penalties are
+// modeled explicitly so that the ordering phenomena the paper studies —
+// unfair locks reordering contending threads, FIFO MCS locks preserving
+// order — emerge from the same mechanisms as on real hardware.
+
+// Locker is the interface shared by all simulated lock kinds.
+type Locker interface {
+	Acquire(t *Thread)
+	Release(t *Thread)
+	Stats() LockStats
+}
+
+// LockStats accumulates contention statistics, the stand-in for the
+// paper's Pixie profiles ("90 percent of the time is spent waiting to
+// acquire the TCP connection state lock").
+type LockStats struct {
+	Acquires   int64
+	Contended  int64
+	WaitNs     int64 // total virtual ns spent blocked on this lock
+	HoldNs     int64 // total virtual ns the lock was held
+	MaxWaiters int
+}
+
+// WaitFraction returns waiting time as a fraction of total virtual time
+// elapsed, the figure the paper quotes from its profiles.
+func (s LockStats) WaitFraction(totalNs int64) float64 {
+	if totalNs <= 0 {
+		return 0
+	}
+	return float64(s.WaitNs) / float64(totalNs)
+}
+
+// chargeLine charges t a coherence penalty when a shared cache line was
+// last touched by another processor. Sync-bus machines do not pay this
+// for synchronization traffic.
+func chargeLine(t *Thread, lastProc *int) {
+	s := &t.eng.C.Sync
+	if !s.SyncBus && *lastProc >= 0 && *lastProc != t.Proc {
+		t.Charge(s.Coherence)
+	}
+	*lastProc = t.Proc
+}
+
+// ---- Mutex: unfair test-and-set lock with exponential backoff ----
+
+// Mutex models the raw IRIX mutex of the paper: a test-and-set spin
+// lock. It is not FIFO: all waiters spin on the lock word, and when it
+// is released the cache/bus arbitration decides which spinner's
+// test-and-set lands first — effectively a uniformly random waiter, not
+// the longest-waiting one. Under light contention (zero or one waiter)
+// grants still happen in arrival order, so misordering stays rare; once
+// the lock saturates and several threads queue up, random grants
+// reorder threads, and therefore packets, increasingly often — exactly
+// the gradual ramp of the paper's Table 1.
+type Mutex struct {
+	Name string
+
+	held      bool
+	holder    *Thread
+	heldSince int64
+	lastProc  int
+	waiters   []*mutexWaiter
+	stats     LockStats
+	inited    bool
+}
+
+type mutexWaiter struct {
+	t         *Thread
+	arrival   int64
+	gap       int64
+	nextProbe int64
+	waitStart int64
+}
+
+func (m *Mutex) init() {
+	if !m.inited {
+		m.lastProc = -1
+		m.inited = true
+	}
+}
+
+// Acquire blocks until the calling thread holds the lock.
+func (m *Mutex) Acquire(t *Thread) {
+	t.Sync()
+	m.init()
+	s := &t.eng.C.Sync
+	t.ChargeRand(s.LockProbe)
+	chargeLine(t, &m.lastProc)
+	m.stats.Acquires++
+	if !m.held {
+		m.held = true
+		m.holder = t
+		m.heldSince = t.Now()
+		t.Charge(s.LockEnter)
+		return
+	}
+	w := &mutexWaiter{
+		t:         t,
+		arrival:   t.Now(),
+		gap:       t.rng.Jitter(s.BackoffMin, t.eng.C.JitterFrac),
+		waitStart: t.Now(),
+	}
+	if w.gap < 1 {
+		w.gap = 1
+	}
+	w.nextProbe = w.arrival + w.gap
+	m.waiters = append(m.waiters, w)
+	m.stats.Contended++
+	if len(m.waiters) > m.stats.MaxWaiters {
+		m.stats.MaxWaiters = len(m.waiters)
+	}
+	t.Block("mutex " + m.Name)
+	// The releaser has made us the holder and set our wake time.
+	m.stats.WaitNs += t.Now() - w.waitStart
+	t.Charge(s.LockEnter)
+}
+
+// Release unlocks; if waiters exist, the earliest-probing one is granted
+// ownership directly.
+func (m *Mutex) Release(t *Thread) {
+	t.Sync()
+	if !m.held || m.holder != t {
+		panic("sim: Mutex.Release by non-holder: " + m.Name)
+	}
+	s := &t.eng.C.Sync
+	t.Charge(s.LockExit)
+	m.stats.HoldNs += t.Now() - m.heldSince
+	if len(m.waiters) == 0 {
+		m.held = false
+		m.holder = nil
+		return
+	}
+	r := t.Now()
+	// Bus arbitration: a random spinner among the few longest-waiting
+	// ones wins the race for the freed lock word (newer arrivals are
+	// still settling into their spin loops). Its probe lands within one
+	// backoff gap of the release.
+	window := s.ArbWindow
+	if window < 1 {
+		window = 1
+	}
+	if window > len(m.waiters) {
+		window = len(m.waiters)
+	}
+	best := t.rng.Intn(window)
+	w := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	gap := s.BackoffMin
+	if gap < 1 {
+		gap = 1
+	}
+	grantAt := r + int64(w.t.rng.Uint64()%uint64(gap)) + s.LockProbe
+	if !s.SyncBus && w.t.Proc != t.Proc {
+		grantAt += s.Coherence
+	}
+	m.holder = w.t
+	m.heldSince = grantAt
+	m.lastProc = w.t.Proc
+	t.eng.Wake(w.t, grantAt)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Mutex) Stats() LockStats { return m.stats }
+
+// Holder reports whether t currently holds the lock (for assertions).
+func (m *Mutex) Holder(t *Thread) bool { return m.held && m.holder == t }
+
+// ---- MCSLock: FIFO queue lock (Mellor-Crummey & Scott) ----
+
+// MCSLock models the MCS list-based queueing lock the paper built from
+// R4000 load-linked/store-conditional: strictly FIFO, each waiter spins
+// on its own cache line, handoff costs one line transfer.
+type MCSLock struct {
+	Name string
+
+	held      bool
+	holder    *Thread
+	heldSince int64
+	lastProc  int
+	queue     []*mcsWaiter
+	stats     LockStats
+	inited    bool
+}
+
+type mcsWaiter struct {
+	t         *Thread
+	waitStart int64
+}
+
+func (m *MCSLock) init() {
+	if !m.inited {
+		m.lastProc = -1
+		m.inited = true
+	}
+}
+
+// Acquire enqueues FIFO and blocks until granted.
+func (m *MCSLock) Acquire(t *Thread) {
+	t.Sync()
+	m.init()
+	s := &t.eng.C.Sync
+	t.ChargeRand(s.MCSSwap)
+	chargeLine(t, &m.lastProc)
+	m.stats.Acquires++
+	if !m.held {
+		m.held = true
+		m.holder = t
+		m.heldSince = t.Now()
+		t.Charge(s.LockEnter)
+		return
+	}
+	w := &mcsWaiter{t: t, waitStart: t.Now()}
+	m.queue = append(m.queue, w)
+	m.stats.Contended++
+	if len(m.queue) > m.stats.MaxWaiters {
+		m.stats.MaxWaiters = len(m.queue)
+	}
+	t.Block("mcs " + m.Name)
+	m.stats.WaitNs += t.Now() - w.waitStart
+	t.Charge(s.LockEnter)
+}
+
+// Release hands the lock to the queue head, if any.
+func (m *MCSLock) Release(t *Thread) {
+	t.Sync()
+	if !m.held || m.holder != t {
+		panic("sim: MCSLock.Release by non-holder: " + m.Name)
+	}
+	s := &t.eng.C.Sync
+	t.Charge(s.LockExit)
+	m.stats.HoldNs += t.Now() - m.heldSince
+	if len(m.queue) == 0 {
+		m.held = false
+		m.holder = nil
+		return
+	}
+	w := m.queue[0]
+	m.queue = m.queue[1:]
+	grantAt := t.Now() + s.Handoff
+	m.holder = w.t
+	m.heldSince = grantAt
+	m.lastProc = w.t.Proc
+	t.eng.Wake(w.t, grantAt)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *MCSLock) Stats() LockStats { return m.stats }
+
+// ---- TicketLock: FIFO, but all waiters spin on one counter ----
+
+// TicketLock is the other classic FIFO lock, kept for ablation against
+// MCS: handoff invalidates the now-serving counter in every waiter's
+// cache, so its cost grows with the number of waiters.
+type TicketLock struct {
+	Name string
+
+	held      bool
+	holder    *Thread
+	heldSince int64
+	lastProc  int
+	queue     []*mcsWaiter
+	stats     LockStats
+	inited    bool
+}
+
+func (l *TicketLock) init() {
+	if !l.inited {
+		l.lastProc = -1
+		l.inited = true
+	}
+}
+
+// Acquire takes a ticket (FIFO) and blocks until served.
+func (l *TicketLock) Acquire(t *Thread) {
+	t.Sync()
+	l.init()
+	s := &t.eng.C.Sync
+	t.ChargeRand(s.Atomic) // fetch-and-increment of the ticket counter
+	chargeLine(t, &l.lastProc)
+	l.stats.Acquires++
+	if !l.held {
+		l.held = true
+		l.holder = t
+		l.heldSince = t.Now()
+		t.Charge(s.LockEnter)
+		return
+	}
+	w := &mcsWaiter{t: t, waitStart: t.Now()}
+	l.queue = append(l.queue, w)
+	l.stats.Contended++
+	if len(l.queue) > l.stats.MaxWaiters {
+		l.stats.MaxWaiters = len(l.queue)
+	}
+	t.Block("ticket " + l.Name)
+	l.stats.WaitNs += t.Now() - w.waitStart
+	t.Charge(s.LockEnter)
+}
+
+// Release serves the next ticket holder; the invalidation broadcast
+// charges the winner in proportion to the spinning crowd.
+func (l *TicketLock) Release(t *Thread) {
+	t.Sync()
+	if !l.held || l.holder != t {
+		panic("sim: TicketLock.Release by non-holder: " + l.Name)
+	}
+	s := &t.eng.C.Sync
+	t.Charge(s.LockExit)
+	l.stats.HoldNs += t.Now() - l.heldSince
+	if len(l.queue) == 0 {
+		l.held = false
+		l.holder = nil
+		return
+	}
+	w := l.queue[0]
+	l.queue = l.queue[1:]
+	grantAt := t.Now() + s.Handoff
+	if !s.SyncBus {
+		grantAt += s.Coherence * int64(len(l.queue))
+	}
+	l.holder = w.t
+	l.heldSince = grantAt
+	l.lastProc = w.t.Proc
+	t.eng.Wake(w.t, grantAt)
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (l *TicketLock) Stats() LockStats { return l.stats }
+
+// LockKind selects a lock implementation for protocol state.
+type LockKind int
+
+const (
+	// KindMutex is the raw unfair spin lock (IRIX mutex).
+	KindMutex LockKind = iota
+	// KindMCS is the FIFO MCS queue lock.
+	KindMCS
+	// KindTicket is the FIFO ticket lock (ablation only).
+	KindTicket
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case KindMutex:
+		return "mutex"
+	case KindMCS:
+		return "mcs"
+	case KindTicket:
+		return "ticket"
+	}
+	return "invalid"
+}
+
+// NewLock builds a lock of the given kind.
+func NewLock(kind LockKind, name string) Locker {
+	switch kind {
+	case KindMutex:
+		return &Mutex{Name: name}
+	case KindMCS:
+		return &MCSLock{Name: name}
+	case KindTicket:
+		return &TicketLock{Name: name}
+	}
+	panic("sim: unknown lock kind")
+}

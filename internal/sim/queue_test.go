@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	e := newTestEngine(1)
+	q := NewQueue("t", 8)
+	var got []int
+	e.Spawn("producer", 0, func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			if !q.Enqueue(th, i) {
+				t.Error("enqueue failed")
+			}
+		}
+		q.Close(th)
+	})
+	e.Spawn("consumer", 1, func(th *Thread) {
+		for {
+			v, ok := q.Dequeue(th)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("consumed %d", len(got))
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	e := newTestEngine(2)
+	q := NewQueue("t", 2)
+	var prodDone int64
+	e.Spawn("producer", 0, func(th *Thread) {
+		for i := 0; i < 6; i++ {
+			q.Enqueue(th, i)
+		}
+		prodDone = th.Now()
+		q.Close(th)
+	})
+	e.Spawn("slow-consumer", 1, func(th *Thread) {
+		for {
+			th.Sleep(1_000_000) // 1 ms per item
+			if _, ok := q.Dequeue(th); !ok {
+				return
+			}
+		}
+	})
+	e.Run()
+	// Producer must have been throttled by the bound: 6 items at 1 ms
+	// consumption with capacity 2 means it finished no earlier than
+	// ~3 ms in.
+	if prodDone < 3_000_000 {
+		t.Fatalf("producer finished at %d ns; bound did not block", prodDone)
+	}
+	if _, _, maxDepth := q.enqueued, q.dequeued, q.maxDepth; maxDepth > 2 {
+		t.Fatalf("max depth %d exceeds capacity", maxDepth)
+	}
+}
+
+func TestQueueCloseUnblocksConsumer(t *testing.T) {
+	e := newTestEngine(3)
+	q := NewQueue("t", 4)
+	consumed := 0
+	e.Spawn("consumer", 0, func(th *Thread) {
+		for {
+			if _, ok := q.Dequeue(th); !ok {
+				return
+			}
+			consumed++
+		}
+	})
+	e.Spawn("closer", 1, func(th *Thread) {
+		th.Sleep(5_000_000)
+		q.Enqueue(th, 1)
+		th.Sleep(5_000_000)
+		q.Close(th)
+	})
+	e.Run()
+	if consumed != 1 {
+		t.Fatalf("consumed = %d", consumed)
+	}
+}
+
+func TestQueueDrainsAfterClose(t *testing.T) {
+	e := newTestEngine(4)
+	q := NewQueue("t", 8)
+	var got []int
+	e.Spawn("t", 0, func(th *Thread) {
+		q.Enqueue(th, 1)
+		q.Enqueue(th, 2)
+		q.Close(th)
+		if q.Enqueue(th, 3) {
+			t.Error("enqueue after close succeeded")
+		}
+		for {
+			v, ok := q.Dequeue(th)
+			if !ok {
+				break
+			}
+			got = append(got, v.(int))
+		}
+	})
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("drained %d items, want 2", len(got))
+	}
+}
+
+func TestQueueTryDequeue(t *testing.T) {
+	e := newTestEngine(5)
+	q := NewQueue("t", 4)
+	e.Spawn("t", 0, func(th *Thread) {
+		if _, ok := q.TryDequeue(th); ok {
+			t.Error("TryDequeue on empty returned ok")
+		}
+		q.Enqueue(th, 42)
+		v, ok := q.TryDequeue(th)
+		if !ok || v.(int) != 42 {
+			t.Errorf("TryDequeue = %v, %v", v, ok)
+		}
+	})
+	e.Run()
+}
+
+func TestQueueManyProducersOneConsumer(t *testing.T) {
+	e := newTestEngine(6)
+	q := NewQueue("t", 4)
+	total := 0
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), i, func(th *Thread) {
+			for j := 0; j < 20; j++ {
+				th.ChargeRand(3000)
+				if !q.Enqueue(th, i*100+j) {
+					return
+				}
+			}
+		})
+	}
+	e.Spawn("consumer", 4, func(th *Thread) {
+		for total < 80 {
+			if _, ok := q.Dequeue(th); !ok {
+				return
+			}
+			total++
+		}
+		q.Close(th)
+	})
+	e.Run()
+	if total != 80 {
+		t.Fatalf("consumed %d, want 80", total)
+	}
+	enq, deq, _ := q.Stats()
+	if enq != 80 || deq != 80 {
+		t.Fatalf("stats %d/%d", enq, deq)
+	}
+}
+
+func TestQueueDequeueChargesContextSwitch(t *testing.T) {
+	e := newTestEngine(7)
+	q := NewQueue("t", 4)
+	var before, after int64
+	e.Spawn("t", 0, func(th *Thread) {
+		q.Enqueue(th, 1)
+		before = th.Now()
+		q.Dequeue(th)
+		after = th.Now()
+	})
+	e.Run()
+	if after-before < e.C.Stack.CtxSwitch/2 {
+		t.Fatalf("dequeue charged only %d ns", after-before)
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+// Rand is a small, fast, deterministic xorshift64* PRNG. Every thread
+// carries its own stream (seeded from the engine's master stream at spawn
+// time) so simulations are reproducible regardless of interleaving.
+type Rand struct {
+	s uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped).
+func NewRand(seed uint64) Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return Rand{s: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter returns ns scaled by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(ns int64, frac float64) int64 {
+	if frac <= 0 || ns == 0 {
+		return ns
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	v := int64(float64(ns) * f)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

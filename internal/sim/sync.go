@@ -1,0 +1,282 @@
+package sim
+
+// Higher-level synchronization objects built on the simulated locks:
+// counting (recursive) locks for the map manager, reference counts in
+// atomic or lock-based mode, the bakery sequencer used for order
+// preservation above TCP, condition variables, and shared counters.
+
+// CountingLock is the recursive lock the x-kernel map manager needs:
+// mapForEach can call back into map operations on the same thread, so if
+// the owner re-acquires, a count is incremented instead of deadlocking
+// (Section 2.1).
+type CountingLock struct {
+	inner Locker
+	owner *Thread
+	depth int
+}
+
+// NewCountingLock wraps a lock of the given kind.
+func NewCountingLock(kind LockKind, name string) *CountingLock {
+	return &CountingLock{inner: NewLock(kind, name)}
+}
+
+// Acquire takes the lock, or increments the count if t already owns it.
+func (c *CountingLock) Acquire(t *Thread) {
+	if c.owner == t {
+		c.depth++
+		return
+	}
+	c.inner.Acquire(t)
+	c.owner = t
+	c.depth = 1
+}
+
+// Release decrements the count, releasing the lock at zero.
+func (c *CountingLock) Release(t *Thread) {
+	if c.owner != t {
+		panic("sim: CountingLock.Release by non-owner")
+	}
+	c.depth--
+	if c.depth == 0 {
+		c.owner = nil
+		c.inner.Release(t)
+	}
+}
+
+// Stats reports the inner lock's statistics.
+func (c *CountingLock) Stats() LockStats { return c.inner.Stats() }
+
+// RefMode selects how reference counts are manipulated (Section 5.2).
+type RefMode int
+
+const (
+	// RefAtomic uses load-linked/store-conditional atomic increment
+	// and decrement: one shared-line touch, no lock.
+	RefAtomic RefMode = iota
+	// RefLocked uses the classic lock-increment-unlock sequence.
+	RefLocked
+)
+
+func (m RefMode) String() string {
+	if m == RefAtomic {
+		return "atomic"
+	}
+	return "locked"
+}
+
+// RefCount is a reference count on a shared object (MNodes, sessions,
+// protocol state). In RefAtomic mode a manipulation charges a single
+// LL/SC atomic op; in RefLocked mode it is a lock-increment-unlock
+// sequence through the engine's finite pool of static global locks,
+// paying the procedure-call and memory-write overhead the paper's
+// Section 5.2 eliminates. Both modes pay coherence when the count
+// bounces between processors.
+type RefCount struct {
+	mode     RefMode
+	v        int32
+	lastProc int
+	pool     *Mutex
+	inited   bool
+}
+
+// Init sets the mode and initial value. Must be called before use.
+func (r *RefCount) Init(mode RefMode, v int32) {
+	r.mode = mode
+	r.v = v
+	r.lastProc = -1
+	r.pool = nil
+	r.inited = true
+}
+
+// lock resolves this count's static pool lock (assigned round-robin on
+// first use, deterministically per engine).
+func (r *RefCount) lock(t *Thread) *Mutex {
+	if r.pool == nil {
+		e := t.eng
+		r.pool = &e.refPool[e.refSeq%len(e.refPool)]
+		e.refSeq++
+	}
+	return r.pool
+}
+
+// Incr atomically increments the count.
+func (r *RefCount) Incr(t *Thread) {
+	if r.mode == RefAtomic {
+		t.Sync()
+		t.Charge(t.eng.C.Sync.Atomic)
+		chargeLine(t, &r.lastProc)
+		r.v++
+		return
+	}
+	lk := r.lock(t)
+	lk.Acquire(t)
+	t.Charge(t.eng.C.Sync.RefLockedWork)
+	chargeLine(t, &r.lastProc)
+	r.v++
+	lk.Release(t)
+}
+
+// Decr atomically decrements the count and reports whether it reached
+// zero (the caller then frees the object).
+func (r *RefCount) Decr(t *Thread) bool {
+	if r.mode == RefAtomic {
+		t.Sync()
+		t.Charge(t.eng.C.Sync.Atomic)
+		chargeLine(t, &r.lastProc)
+		r.v--
+		if r.v < 0 {
+			panic("sim: RefCount underflow")
+		}
+		return r.v == 0
+	}
+	lk := r.lock(t)
+	lk.Acquire(t)
+	t.Charge(t.eng.C.Sync.RefLockedWork)
+	chargeLine(t, &r.lastProc)
+	r.v--
+	z := r.v == 0
+	if r.v < 0 {
+		panic("sim: RefCount underflow")
+	}
+	lk.Release(t)
+	return z
+}
+
+// Value returns the current count (engine-serialized read).
+func (r *RefCount) Value() int32 { return r.v }
+
+// Sequencer implements the ticketing ("bakery") scheme of Section 4.2:
+// a thread takes an up-ticket while still holding the connection state
+// lock, releases the lock, and later waits for its ticket to be called at
+// the point where the application requires order.
+type Sequencer struct {
+	next     uint64
+	serving  uint64
+	lastProc int
+	waiters  map[uint64]*Thread
+	inited   bool
+}
+
+func (s *Sequencer) init() {
+	if !s.inited {
+		s.waiters = make(map[uint64]*Thread)
+		s.lastProc = -1
+		s.inited = true
+	}
+}
+
+// Ticket draws the next ticket (atomic fetch-and-increment).
+func (s *Sequencer) Ticket(t *Thread) uint64 {
+	t.Sync()
+	s.init()
+	t.Charge(t.eng.C.Sync.Atomic)
+	chargeLine(t, &s.lastProc)
+	n := s.next
+	s.next++
+	return n
+}
+
+// Wait blocks until ticket k is being served.
+func (s *Sequencer) Wait(t *Thread, k uint64) {
+	t.Sync()
+	s.init()
+	chargeLine(t, &s.lastProc)
+	if s.serving == k {
+		return
+	}
+	if k < s.serving {
+		panic("sim: Sequencer ticket already served")
+	}
+	s.waiters[k] = t
+	t.Block("sequencer")
+}
+
+// Done advances service to the next ticket and wakes its waiter, if
+// parked.
+func (s *Sequencer) Done(t *Thread) {
+	t.Sync()
+	s.init()
+	t.Charge(t.eng.C.Sync.Atomic)
+	chargeLine(t, &s.lastProc)
+	s.serving++
+	if w, ok := s.waiters[s.serving]; ok {
+		delete(s.waiters, s.serving)
+		t.eng.Wake(w, t.Now()+t.eng.C.Sync.Coherence)
+	}
+}
+
+// Cond is a condition variable tied to a Locker, used for flow-control
+// blocking (a TCP sender waiting for window space).
+type Cond struct {
+	L       Locker
+	waiters []*Thread
+}
+
+// Wait atomically releases the lock and blocks; on wakeup the lock is
+// re-acquired before returning. reason appears in deadlock dumps.
+func (c *Cond) Wait(t *Thread, reason string) {
+	c.waiters = append(c.waiters, t)
+	c.L.Release(t)
+	t.Block(reason)
+	c.L.Acquire(t)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast(t *Thread) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	at := t.Now() + t.eng.C.Sync.Coherence
+	for _, w := range c.waiters {
+		t.eng.Wake(w, at)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Signal wakes one waiter (FIFO).
+func (c *Cond) Signal(t *Thread) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	t.eng.Wake(w, t.Now()+t.eng.C.Sync.Coherence)
+}
+
+// Counter is a shared cell updated with atomic fetch-and-add (sequence
+// number allocation in the drivers, statistics that must be exact).
+type Counter struct {
+	v        int64
+	lastProc int
+	inited   bool
+}
+
+// Add charges one atomic op and returns the *previous* value.
+func (c *Counter) Add(t *Thread, delta int64) int64 {
+	t.Sync()
+	if !c.inited {
+		c.lastProc = -1
+		c.inited = true
+	}
+	t.Charge(t.eng.C.Sync.Atomic)
+	chargeLine(t, &c.lastProc)
+	old := c.v
+	c.v += delta
+	return old
+}
+
+// Load returns the current value without synchronization cost
+// (engine-serialized, deterministic; used for statistics).
+func (c *Counter) Load() int64 { return c.v }
+
+// Store sets the value (setup/reset paths only).
+func (c *Counter) Store(v int64) { c.v = v }
+
+// Flag is a shared boolean checked with relaxed reads (stop flags).
+type Flag struct{ v bool }
+
+// Set raises the flag.
+func (f *Flag) Set() { f.v = true }
+
+// Get reads the flag without synchronization cost.
+func (f *Flag) Get() bool { return f.v }

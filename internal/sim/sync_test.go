@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCountingLockRecursion(t *testing.T) {
+	e := newTestEngine(1)
+	c := NewCountingLock(KindMutex, "map")
+	e.Spawn("t", 0, func(th *Thread) {
+		c.Acquire(th)
+		c.Acquire(th) // recursive re-entry must not deadlock
+		c.Acquire(th)
+		c.Release(th)
+		c.Release(th)
+		c.Release(th)
+	})
+	e.Run()
+	if c.Stats().Acquires != 1 {
+		t.Errorf("inner acquires = %d, want 1", c.Stats().Acquires)
+	}
+}
+
+func TestCountingLockExcludesAcrossThreads(t *testing.T) {
+	e := newTestEngine(2)
+	c := NewCountingLock(KindMutex, "map")
+	inside := false
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+			for j := 0; j < 20; j++ {
+				c.Acquire(th)
+				if inside {
+					t.Error("counting lock exclusion violated")
+				}
+				inside = true
+				c.Acquire(th)
+				th.Charge(3000)
+				c.Release(th)
+				inside = false
+				c.Release(th)
+			}
+		})
+	}
+	e.Run()
+}
+
+func TestCountingLockReleaseByNonOwnerPanics(t *testing.T) {
+	e := newTestEngine(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCountingLock(KindMutex, "map")
+	e.Spawn("bad", 0, func(th *Thread) {
+		c.Release(th)
+	})
+	e.Run()
+}
+
+func TestRefCountModes(t *testing.T) {
+	for _, mode := range []RefMode{RefAtomic, RefLocked} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newTestEngine(4)
+			var rc RefCount
+			rc.Init(mode, 1)
+			freed := 0
+			for i := 0; i < 4; i++ {
+				e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+					for j := 0; j < 25; j++ {
+						rc.Incr(th)
+						th.Charge(1000)
+						if rc.Decr(th) {
+							freed++
+						}
+					}
+				})
+			}
+			e.Run()
+			if rc.Value() != 1 {
+				t.Errorf("final value = %d, want 1", rc.Value())
+			}
+			if freed != 0 {
+				t.Errorf("freed %d times, want 0", freed)
+			}
+		})
+	}
+}
+
+func TestRefCountDecrToZero(t *testing.T) {
+	e := newTestEngine(5)
+	var rc RefCount
+	rc.Init(RefAtomic, 2)
+	e.Spawn("t", 0, func(th *Thread) {
+		if rc.Decr(th) {
+			t.Error("reached zero too early")
+		}
+		if !rc.Decr(th) {
+			t.Error("did not report zero")
+		}
+	})
+	e.Run()
+}
+
+func TestRefCountAtomicCheaperThanLocked(t *testing.T) {
+	elapsed := func(mode RefMode) int64 {
+		e := newTestEngine(6)
+		var rc RefCount
+		rc.Init(mode, 1)
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					rc.Incr(th)
+					rc.Decr(th)
+				}
+			})
+		}
+		e.Run()
+		return e.Now()
+	}
+	a, l := elapsed(RefAtomic), elapsed(RefLocked)
+	if a >= l {
+		t.Fatalf("atomic refcounts (%d ns) not cheaper than locked (%d ns)", a, l)
+	}
+}
+
+func TestSequencerPreservesTicketOrder(t *testing.T) {
+	e := newTestEngine(7)
+	var seq Sequencer
+	var served []uint64
+	// Threads draw tickets in a deterministic order, then try to be
+	// served in scrambled timing; service order must equal ticket order.
+	for i := 0; i < 6; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+			th.Sleep(int64(100 * i)) // tickets drawn in order 0..5
+			k := seq.Ticket(th)
+			th.Sleep(int64(th.Rand().Intn(50000))) // arrive scrambled
+			seq.Wait(th, k)
+			served = append(served, k)
+			th.Charge(500)
+			seq.Done(th)
+		})
+	}
+	e.Run()
+	for i, k := range served {
+		if k != uint64(i) {
+			t.Fatalf("served = %v, want ascending tickets", served)
+		}
+	}
+}
+
+func TestSequencerImmediateService(t *testing.T) {
+	e := newTestEngine(8)
+	var seq Sequencer
+	e.Spawn("t", 0, func(th *Thread) {
+		k := seq.Ticket(th)
+		seq.Wait(th, k) // serving==0==k: must not block
+		seq.Done(th)
+		k2 := seq.Ticket(th)
+		if k2 != 1 {
+			t.Errorf("second ticket = %d, want 1", k2)
+		}
+		seq.Wait(th, k2)
+		seq.Done(th)
+	})
+	e.Run()
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	e := newTestEngine(9)
+	l := &Mutex{Name: "m"}
+	c := &Cond{L: l}
+	ready := false
+	var consumed int
+	e.Spawn("consumer", 0, func(th *Thread) {
+		l.Acquire(th)
+		for !ready {
+			c.Wait(th, "waiting for ready")
+		}
+		consumed = th.Rand().Intn(1) + 1
+		l.Release(th)
+	})
+	e.Spawn("producer", 1, func(th *Thread) {
+		th.Sleep(10000)
+		l.Acquire(th)
+		ready = true
+		c.Signal(th)
+		l.Release(th)
+	})
+	e.Run()
+	if consumed == 0 {
+		t.Fatal("consumer never proceeded")
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	e := newTestEngine(10)
+	l := &Mutex{Name: "m"}
+	c := &Cond{L: l}
+	gate := false
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+			l.Acquire(th)
+			for !gate {
+				c.Wait(th, "gate")
+			}
+			woken++
+			l.Release(th)
+		})
+	}
+	e.Spawn("opener", 5, func(th *Thread) {
+		th.Sleep(5000)
+		l.Acquire(th)
+		gate = true
+		c.Broadcast(th)
+		l.Release(th)
+	})
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestCounterAddReturnsPrevious(t *testing.T) {
+	e := newTestEngine(11)
+	var c Counter
+	seen := map[int64]bool{}
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), i, func(th *Thread) {
+			for j := 0; j < 25; j++ {
+				v := c.Add(th, 1)
+				if seen[v] {
+					t.Errorf("duplicate fetch-add result %d", v)
+				}
+				seen[v] = true
+			}
+		})
+	}
+	e.Run()
+	if c.Load() != 100 {
+		t.Fatalf("final = %d, want 100", c.Load())
+	}
+}
+
+func TestFlag(t *testing.T) {
+	var f Flag
+	if f.Get() {
+		t.Fatal("new flag set")
+	}
+	f.Set()
+	if !f.Get() {
+		t.Fatal("flag not set")
+	}
+}

@@ -1,0 +1,217 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/xkernel"
+)
+
+// scrambleWire queues A->B data segments and releases them in an
+// arbitrary permutation on Flush; everything else (handshake, acks,
+// B->A) passes through immediately.
+type scrambleWire struct {
+	a2b, b2a *Protocol
+	held     []*msg.Message
+	hold     bool
+}
+
+type scrambleSession struct {
+	w        *scrambleWire
+	src, dst xkernel.IPAddr
+	toB      bool
+}
+
+type scrambleOpener struct {
+	w        *scrambleWire
+	src, dst xkernel.IPAddr
+	toB      bool
+}
+
+func (o *scrambleOpener) Open(t *sim.Thread, dst xkernel.IPAddr, proto uint8) (IPSession, error) {
+	return &scrambleSession{w: o.w, src: o.src, dst: o.dst, toB: o.toB}, nil
+}
+
+func (s *scrambleSession) Push(t *sim.Thread, m *msg.Message) error {
+	m.SrcAddr = s.src
+	m.DstAddr = s.dst
+	if s.toB {
+		if s.w.hold && m.Len() > HdrLen {
+			s.w.held = append(s.w.held, m)
+			return nil
+		}
+		return s.w.a2b.Demux(t, m)
+	}
+	return s.w.b2a.Demux(t, m)
+}
+
+func (s *scrambleSession) Close(t *sim.Thread) error { return nil }
+func (s *scrambleSession) Src() xkernel.IPAddr       { return s.src }
+func (s *scrambleSession) Dst() xkernel.IPAddr       { return s.dst }
+func (s *scrambleSession) MSS() int                  { return 4352 - 20 }
+
+// flush delivers held segments in the order given by perm.
+func (w *scrambleWire) flush(t *sim.Thread, perm []int) error {
+	held := w.held
+	w.held = nil
+	for _, i := range perm {
+		if err := w.a2b.Demux(t, held[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type byteSink struct {
+	buf bytes.Buffer
+}
+
+func (r *byteSink) Receive(t *sim.Thread, m *msg.Message) error {
+	r.buf.Write(m.Bytes())
+	m.Free(t)
+	return nil
+}
+
+// TestReassemblyInvariantUnderAnyPermutation: whatever order data
+// segments arrive in, the receiver must deliver exactly the sent byte
+// stream, in order, with no duplication or loss — TCP's core contract.
+func TestReassemblyInvariantUnderAnyPermutation(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			e := sim.New(cost.NewModel(cost.Challenge100), uint64(1000+trial))
+			e.Spawn("test", 0, func(th *sim.Thread) {
+				rng := sim.NewRand(uint64(77 + trial*13))
+				w := &scrambleWire{}
+				alloc := msg.NewAllocator(msg.DefaultConfig(4))
+				cfg := DefaultConfig()
+				cfg.Checksum = ChecksumEnforce
+				cfg.Window = 1 << 20
+				oa := &scrambleOpener{w: w, src: hostA, dst: hostB, toB: true}
+				ob := &scrambleOpener{w: w, src: hostB, dst: hostA, toB: false}
+				pa := New(cfg, oa, alloc, nil)
+				pb := New(cfg, ob, alloc, nil)
+				w.a2b = pb
+				w.b2a = pa
+				sink := &byteSink{}
+				part := xkernel.Part{LocalIP: hostA, RemoteIP: hostB, LocalPort: 10, RemotePort: 20}
+				if _, err := pb.OpenEnable(th, part.Swap(), sink); err != nil {
+					t.Error(err)
+					return
+				}
+				tcb, err := pa.Open(th, part, &byteSink{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+
+				// Random segments, total small enough to fit the
+				// initial congestion window (2*MSS) so the scrambled
+				// wire never stalls the sender.
+				var want bytes.Buffer
+				w.hold = true
+				nseg := 2 + rng.Intn(6)
+				budget := 2 * tcb.MSS()
+				for i := 0; i < nseg && budget > 0; i++ {
+					n := 1 + rng.Intn(400)
+					if n > budget {
+						n = budget
+					}
+					budget -= n
+					payload := make([]byte, n)
+					for j := range payload {
+						payload[j] = byte(rng.Intn(256))
+					}
+					want.Write(payload)
+					m, _ := alloc.New(th, n, msg.Headroom)
+					if err := m.CopyIn(th, 0, payload); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := tcb.Push(th, m); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				w.hold = false
+
+				// Random permutation of the held segments.
+				perm := make([]int, len(w.held))
+				for i := range perm {
+					perm[i] = i
+				}
+				for i := len(perm) - 1; i > 0; i-- {
+					j := rng.Intn(i + 1)
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+				if err := w.flush(th, perm); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(sink.buf.Bytes(), want.Bytes()) {
+					t.Errorf("trial %d: delivered %d bytes != sent %d bytes (perm %v)",
+						trial, sink.buf.Len(), want.Len(), perm)
+				}
+			})
+			e.Run()
+		})
+	}
+}
+
+// TestSequenceArithmeticWraps exercises the modular comparisons around
+// the 2^32 wrap point.
+func TestSequenceArithmeticWraps(t *testing.T) {
+	hi := uint32(0xfffffff0)
+	lo := uint32(0x10)
+	if !seqLT(hi, lo) {
+		t.Error("seqLT must treat post-wrap lo as greater")
+	}
+	if !seqGT(lo, hi) {
+		t.Error("seqGT wrap")
+	}
+	if seqMax(hi, lo) != lo {
+		t.Error("seqMax wrap")
+	}
+	if seqMin(hi, lo) != hi {
+		t.Error("seqMin wrap")
+	}
+	if !seqLEQ(hi, hi) || !seqGEQ(lo, lo) {
+		t.Error("reflexive comparisons")
+	}
+}
+
+// TestTransferAcrossSequenceWrap runs a transfer whose sequence numbers
+// cross the 32-bit wrap boundary.
+func TestTransferAcrossSequenceWrap(t *testing.T) {
+	run1(t, 99, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Checksum = ChecksumEnforce
+		h := build(t, th, cfg, &wire{}, nil)
+		// Force the connection's sequence space to just below the wrap.
+		h.tcbA.lockAll(th)
+		base := uint32(0xffffff00) - h.tcbA.sndNxt
+		h.tcbA.sndUna += base
+		h.tcbA.sndNxt += base
+		h.tcbA.sndMax += base
+		h.tcbA.unlockAll(th)
+		h.tcbB.lockAll(th)
+		h.tcbB.rcvNxt += base
+		h.tcbB.unlockAll(th)
+
+		for i := 0; i < 4; i++ {
+			h.send(t, th, pattern(512, byte(i+1)))
+		}
+		if len(h.sink.payloads) != 4 {
+			t.Fatalf("delivered %d across wrap, want 4", len(h.sink.payloads))
+		}
+		for i, p := range h.sink.payloads {
+			if p[0] != byte(i+1) {
+				t.Fatalf("order broken across wrap: %v", p[0])
+			}
+		}
+	})
+}

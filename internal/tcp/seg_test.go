@@ -1,0 +1,58 @@
+package tcp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(sport, dport uint16, seqn, ack uint32, flags uint8, win uint32) bool {
+		b := make([]byte, HdrLen)
+		putHeader(b, sport, dport, seqn, ack, flags, win)
+		s := parseHeader(b)
+		return s.sport == sport && s.dport == dport &&
+			s.seq == seqn && s.ack == ack &&
+			s.flags == flags && s.win == win && s.cksum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	b := make([]byte, HdrLen)
+	PutWireHeader(b, 80, 443, 1000, 2000, FlagSYN|FlagACK, 1<<24)
+	s := ParseWireHeader(b)
+	if s.SPort != 80 || s.DPort != 443 || s.Seq != 1000 || s.Ack != 2000 {
+		t.Fatalf("round trip lost fields: %+v", s)
+	}
+	if s.Flags != FlagSYN|FlagACK {
+		t.Fatalf("flags = %x", s.Flags)
+	}
+	if s.Win != 1<<24 {
+		t.Fatalf("win = %d; 32-bit windows must survive the wire", s.Win)
+	}
+}
+
+func TestSegString(t *testing.T) {
+	s := seg{sport: 1, dport: 2, seq: 3, ack: 4, flags: FlagSYN | FlagACK, win: 5, dlen: 6}
+	out := s.String()
+	for _, want := range []string{"1->2", "seq=3", "ack=4", "S", ".", "win=5", "len=6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSeqHelpersBasic(t *testing.T) {
+	if !seqLT(1, 2) || seqLT(2, 1) || seqLT(1, 1) {
+		t.Error("seqLT basic")
+	}
+	if !seqLEQ(1, 1) || !seqGEQ(2, 2) {
+		t.Error("reflexive")
+	}
+	if seqMax(3, 9) != 9 || seqMin(3, 9) != 3 {
+		t.Error("min/max")
+	}
+}

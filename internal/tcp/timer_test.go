@@ -1,0 +1,117 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// withTimers runs a harness body with a live event wheel and protocol
+// timers, shutting everything down afterwards.
+func withTimers(t *testing.T, seed uint64, cfg Config, w *wire, body func(th *sim.Thread, h *harness)) {
+	t.Helper()
+	e := sim.New(cost.NewModel(cost.Challenge100), seed)
+	wheel := event.New(event.DefaultConfig())
+	wheel.Start(e, 0)
+	e.Spawn("test", 1, func(th *sim.Thread) {
+		h := build(t, th, cfg, w, wheel)
+		// Teardown must run even when body fails via t.Fatal (Goexit),
+		// or the wheel thread ticks forever and the engine never exits.
+		defer func() {
+			h.pa.StopTimers()
+			h.pb.StopTimers()
+			wheel.Stop()
+		}()
+		body(th, h)
+	})
+	e.Run()
+}
+
+func TestTimeWaitExpiresVia2MSL(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checksum = ChecksumEnforce
+	withTimers(t, 21, cfg, &wire{}, func(th *sim.Thread, h *harness) {
+		h.send(t, th, pattern(128, 1))
+		if err := h.tcbA.Close(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.tcbB.Close(th); err != nil {
+			t.Fatal(err)
+		}
+		if h.tcbA.State() != "TIME_WAIT" {
+			t.Fatalf("A state = %s, want TIME_WAIT", h.tcbA.State())
+		}
+		// 2MSL is 30 virtual seconds; wait past it.
+		th.Sleep(35_000_000_000)
+		if h.tcbA.State() != "CLOSED" {
+			t.Fatalf("A state = %s after 2MSL, want CLOSED", h.tcbA.State())
+		}
+	})
+}
+
+func TestRTTEstimatorConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checksum = ChecksumOff
+	withTimers(t, 22, cfg, &wire{}, func(th *sim.Thread, h *harness) {
+		for i := 0; i < 20; i++ {
+			h.send(t, th, pattern(1024, 1))
+			th.Sleep(5_000_000) // pace the transfer
+		}
+		h.tcbA.lockAll(th)
+		srtt := h.tcbA.srtt
+		h.tcbA.unlockAll(th)
+		if srtt <= 0 {
+			t.Fatal("no RTT samples taken")
+		}
+		// The in-memory round trip is well under a virtual second.
+		if srtt > 1_000_000_000 {
+			t.Fatalf("srtt = %d ns, implausibly large", srtt)
+		}
+	})
+}
+
+func TestRetransmitBackoffGivesUp(t *testing.T) {
+	// A wire that drops every data segment forever: the sender must
+	// retransmit with exponential backoff and eventually reset the
+	// connection.
+	if testing.Short() {
+		t.Skip("simulates many virtual minutes of backoff")
+	}
+	cfg := DefaultConfig()
+	cfg.Checksum = ChecksumOff
+	w := &wire{dropAllData: true}
+	withTimers(t, 23, cfg, w, func(th *sim.Thread, h *harness) {
+		m, _ := h.alloc.New(th, 64, msg.Headroom)
+		if err := h.tcbA.Push(th, m); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200 && h.tcbA.State() != "CLOSED"; i++ {
+			th.Sleep(10_000_000_000)
+		}
+		if h.pa.Stats().Rexmt < 3 {
+			t.Fatalf("rexmt = %d, want repeated backoff", h.pa.Stats().Rexmt)
+		}
+		if h.tcbA.State() != "CLOSED" {
+			t.Fatalf("state = %s, want CLOSED after giving up", h.tcbA.State())
+		}
+	})
+}
+
+func TestSlowTimerCountsDownAllConnections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Checksum = ChecksumOff
+	withTimers(t, 24, cfg, &wire{}, func(th *sim.Thread, h *harness) {
+		// Plant a 2MSL timer manually and verify slowTimo drives it.
+		h.tcbA.lockAll(th)
+		h.tcbA.timers[timer2MSL] = 2 // two slow ticks = 1 s
+		h.tcbA.state = stateTimeWait
+		h.tcbA.unlockAll(th)
+		th.Sleep(2_000_000_000)
+		if h.tcbA.State() != "CLOSED" {
+			t.Fatalf("state = %s, want CLOSED after planted 2MSL", h.tcbA.State())
+		}
+	})
+}

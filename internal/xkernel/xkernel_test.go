@@ -1,0 +1,81 @@
+package xkernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+func TestPartSwap(t *testing.T) {
+	p := Part{
+		LocalIP:    IPAddr{1, 2, 3, 4},
+		RemoteIP:   IPAddr{5, 6, 7, 8},
+		LocalPort:  100,
+		RemotePort: 200,
+	}
+	s := p.Swap()
+	if s.LocalIP != p.RemoteIP || s.RemoteIP != p.LocalIP {
+		t.Error("addresses not swapped")
+	}
+	if s.LocalPort != 200 || s.RemotePort != 100 {
+		t.Error("ports not swapped")
+	}
+	if s.Swap() != p {
+		t.Error("double swap is not identity")
+	}
+}
+
+type upperStub struct {
+	ref       sim.RefCount
+	refAtCall int32
+	err       error
+}
+
+func (u *upperStub) Demux(t *sim.Thread, m *msg.Message) error {
+	u.refAtCall = u.ref.Value()
+	return u.err
+}
+func (u *upperStub) Ref() *sim.RefCount { return &u.ref }
+
+func TestDispatchUpRefDiscipline(t *testing.T) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	a := msg.NewAllocator(msg.DefaultConfig(4))
+	u := &upperStub{}
+	u.ref.Init(sim.RefAtomic, 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		m, _ := a.New(th, 8, 0)
+		if err := DispatchUp(th, u, m); err != nil {
+			t.Error(err)
+		}
+		m.Free(th)
+	})
+	e.Run()
+	if u.refAtCall != 2 {
+		t.Errorf("ref during dispatch = %d, want 2 (incremented on the way up)", u.refAtCall)
+	}
+	if u.ref.Value() != 1 {
+		t.Errorf("ref after dispatch = %d, want 1 (decremented on the way down)", u.ref.Value())
+	}
+}
+
+func TestDispatchUpPropagatesError(t *testing.T) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 2)
+	a := msg.NewAllocator(msg.DefaultConfig(4))
+	want := errors.New("boom")
+	u := &upperStub{err: want}
+	u.ref.Init(sim.RefAtomic, 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		m, _ := a.New(th, 8, 0)
+		if err := DispatchUp(th, u, m); !errors.Is(err, want) {
+			t.Errorf("err = %v", err)
+		}
+		m.Free(th)
+	})
+	e.Run()
+	if u.ref.Value() != 1 {
+		t.Error("ref leaked on error path")
+	}
+}

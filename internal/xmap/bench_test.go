@@ -1,0 +1,33 @@
+package xmap
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+func benchResolve(b *testing.B, hit bool) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	m := New(64, sim.KindMutex, "bench")
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		for i := 0; i < 32; i++ {
+			m.Bind(th, ProtoKey(uint32(i)), i)
+		}
+		for i := 0; i < b.N; i++ {
+			k := uint32(0)
+			if !hit {
+				k = uint32(i % 32) // rotate keys: defeats the 1-behind cache
+			}
+			if _, ok := m.Resolve(th, ProtoKey(k)); !ok {
+				b.Error("lost binding")
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkResolveCacheHit(b *testing.B)  { benchResolve(b, true) }
+func BenchmarkResolveCacheMiss(b *testing.B) { benchResolve(b, false) }

@@ -1,0 +1,205 @@
+// Package xmap implements the x-kernel map manager: a mapping from an
+// external identifier (e.g. a TCP port pair) to an internal identifier
+// (e.g. a protocol control block), built on chained-bucket hash tables
+// with a 1-behind cache (Section 2.1 of the paper).
+//
+// Maps are primarily used for demultiplexing. They are locked for
+// insert, lookup and remove; because the iterator ForEach can call back
+// into map operations on the same thread, the lock is a counting
+// (recursive) lock.
+package xmap
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Key is a fixed-size binary external identifier. Demux keys (addresses,
+// ports, protocol numbers) are packed into two words.
+type Key [2]uint64
+
+// Errors returned by map operations.
+var (
+	ErrExists   = errors.New("xmap: key already bound")
+	ErrNotFound = errors.New("xmap: key not bound")
+)
+
+type entry struct {
+	key  Key
+	val  any
+	next *entry
+}
+
+// Stats counts map activity.
+type Stats struct {
+	Resolves  int64
+	CacheHits int64
+	Binds     int64
+	Unbinds   int64
+}
+
+// Map is one chained-bucket hash table.
+type Map struct {
+	// Locking can be disabled to reproduce the Section 3.1 experiment
+	// ("running the test without locking the maps yielded a small,
+	// approximately 10 percent, improvement").
+	Locking bool
+
+	// NoCache disables the 1-behind cache (ablation).
+	NoCache bool
+
+	lock    *sim.CountingLock
+	buckets []*entry
+	mask    uint64
+	n       int
+
+	// 1-behind cache: the most recently resolved binding.
+	cacheKey   Key
+	cacheVal   any
+	cacheValid bool
+
+	stats Stats
+}
+
+// New creates a map with the given number of buckets (rounded up to a
+// power of two) protected by a counting lock of the given kind.
+func New(buckets int, kind sim.LockKind, name string) *Map {
+	sz := 1
+	for sz < buckets {
+		sz <<= 1
+	}
+	return &Map{
+		Locking: true,
+		lock:    sim.NewCountingLock(kind, "map:"+name),
+		buckets: make([]*entry, sz),
+		mask:    uint64(sz - 1),
+	}
+}
+
+func (m *Map) hash(k Key) uint64 {
+	h := k[0]*0x9e3779b97f4a7c15 ^ k[1]*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return h & m.mask
+}
+
+func (m *Map) acquire(t *sim.Thread) {
+	if m.Locking {
+		m.lock.Acquire(t)
+	} else {
+		t.Sync() // still serialize in virtual time, just without lock cost
+	}
+}
+
+func (m *Map) release(t *sim.Thread) {
+	if m.Locking {
+		m.lock.Release(t)
+	}
+}
+
+// Bind inserts a key → value binding.
+func (m *Map) Bind(t *sim.Thread, k Key, v any) error {
+	m.acquire(t)
+	defer m.release(t)
+	t.ChargeRand(t.Engine().C.Stack.MapHash)
+	b := m.hash(k)
+	for e := m.buckets[b]; e != nil; e = e.next {
+		if e.key == k {
+			return ErrExists
+		}
+	}
+	m.buckets[b] = &entry{key: k, val: v, next: m.buckets[b]}
+	m.n++
+	m.stats.Binds++
+	return nil
+}
+
+// Resolve looks up a binding, consulting the 1-behind cache first.
+func (m *Map) Resolve(t *sim.Thread, k Key) (any, bool) {
+	m.acquire(t)
+	defer m.release(t)
+	m.stats.Resolves++
+	st := &t.Engine().C.Stack
+	if !m.NoCache && m.cacheValid && m.cacheKey == k {
+		m.stats.CacheHits++
+		t.ChargeRand(st.MapCacheHit)
+		return m.cacheVal, true
+	}
+	t.ChargeRand(st.MapHash)
+	for e := m.buckets[m.hash(k)]; e != nil; e = e.next {
+		if e.key == k {
+			m.cacheKey, m.cacheVal, m.cacheValid = k, e.val, true
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Unbind removes a binding.
+func (m *Map) Unbind(t *sim.Thread, k Key) error {
+	m.acquire(t)
+	defer m.release(t)
+	t.ChargeRand(t.Engine().C.Stack.MapHash)
+	b := m.hash(k)
+	for pe := &m.buckets[b]; *pe != nil; pe = &(*pe).next {
+		if (*pe).key == k {
+			*pe = (*pe).next
+			m.n--
+			m.stats.Unbinds++
+			if m.cacheValid && m.cacheKey == k {
+				m.cacheValid = false
+			}
+			return nil
+		}
+	}
+	return ErrNotFound
+}
+
+// Len returns the number of bindings.
+func (m *Map) Len(t *sim.Thread) int {
+	m.acquire(t)
+	defer m.release(t)
+	return m.n
+}
+
+// ForEach calls fn for every binding while holding the map lock; fn may
+// call back into this map on the same thread (the counting lock admits
+// the recursion — this is mapForEach from Section 2.1). Iteration stops
+// if fn returns false.
+func (m *Map) ForEach(t *sim.Thread, fn func(Key, any) bool) {
+	m.acquire(t)
+	defer m.release(t)
+	for _, b := range m.buckets {
+		for e := b; e != nil; e = e.next {
+			t.ChargeRand(t.Engine().C.Stack.MapCacheHit)
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Map) Stats() Stats { return m.stats }
+
+// LockStats exposes the map lock's contention statistics.
+func (m *Map) LockStats() sim.LockStats { return m.lock.Stats() }
+
+// PortKey packs a local/remote port pair demux key.
+func PortKey(localPort, remotePort uint16) Key {
+	return Key{uint64(localPort)<<16 | uint64(remotePort), 0}
+}
+
+// AddrKey packs a full 4-tuple demux key.
+func AddrKey(localIP, remoteIP [4]byte, localPort, remotePort uint16) Key {
+	var k Key
+	k[0] = uint64(localIP[0])<<56 | uint64(localIP[1])<<48 |
+		uint64(localIP[2])<<40 | uint64(localIP[3])<<32 |
+		uint64(remoteIP[0])<<24 | uint64(remoteIP[1])<<16 |
+		uint64(remoteIP[2])<<8 | uint64(remoteIP[3])
+	k[1] = uint64(localPort)<<16 | uint64(remotePort)
+	return k
+}
+
+// ProtoKey packs a single protocol-number demux key.
+func ProtoKey(p uint32) Key { return Key{uint64(p), 1} }

@@ -1,0 +1,426 @@
+// Package parnet is the public API of the parallelized-network-protocols
+// library: a faithful reproduction of the system studied in Nahum,
+// Yates, Kurose and Towsley, "Performance Issues in Parallelized Network
+// Protocols" (OSDI 1994).
+//
+// The library implements packet-level (thread-per-packet) parallel
+// TCP/IP and UDP/IP protocol stacks in the style of a parallelized
+// x-kernel — message tool with per-processor caches, map manager with
+// counting locks, timing-wheel event manager, Net/2-structured TCP with
+// three locking layouts — running on a deterministic discrete-event
+// simulation of a shared-memory multiprocessor (see internal/sim and
+// DESIGN.md for the hardware substitution rationale).
+//
+// Quick start:
+//
+//	cfg := parnet.DefaultConfig()
+//	cfg.Protocol = parnet.TCP
+//	cfg.Side = parnet.Receive
+//	cfg.Processors = 8
+//	res, err := parnet.Run(cfg)
+//	fmt.Printf("%.1f Mbit/s, %.1f%% out-of-order\n", res.Mbps, res.OutOfOrderPct)
+//
+// Every structural alternative the paper studies is a Config field:
+// locking layout (TCP-1/2/6), lock kind (unfair mutex vs FIFO MCS),
+// checksumming, packet size, per-processor message caching, atomic vs
+// lock-based reference counts, the Section 4.2 ticketing scheme, the
+// assumed-in-order upper bound, connection count, machine generation,
+// and thread wiring.
+//
+// The experiment catalog that regenerates every table and figure of the
+// paper is exposed through Experiments and RunExperiment; the ppbench
+// command wraps them.
+package parnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// Protocol selects the transport under test.
+type Protocol int
+
+// Transports.
+const (
+	UDP Protocol = iota
+	TCP
+)
+
+// Side selects the data-transfer direction.
+type Side int
+
+// Sides.
+const (
+	Send Side = iota
+	Receive
+)
+
+// LockKind selects the connection-state lock implementation.
+type LockKind int
+
+// Lock kinds.
+const (
+	// MutexLock is the raw unfair test-and-set spin lock (the IRIX
+	// mutex of the paper): not FIFO, reorders contending threads.
+	MutexLock LockKind = iota
+	// MCSLock is the FIFO queueing lock of Mellor-Crummey and Scott.
+	MCSLock
+	// TicketLock is a FIFO ticket lock (ablation alternative).
+	TicketLock
+)
+
+// Layout selects TCP's locking granularity (Section 5.1).
+type Layout int
+
+// Locking layouts.
+const (
+	// TCP1 protects all connection state with a single lock.
+	TCP1 Layout = iota
+	// TCP2 uses separate send-side and receive-side locks.
+	TCP2
+	// TCP6 uses the six-lock SICS layout, checksums inside the header
+	// prepend/remove locks.
+	TCP6
+)
+
+// ParallelismStrategy selects how work is divided among processors —
+// the three strategies surveyed in the paper's Section 1. Alternatives
+// to packet-level parallelism are implemented for the TCP receive path.
+type ParallelismStrategy int
+
+// Strategies.
+const (
+	// PacketLevel is thread-per-packet parallelism (the paper's
+	// subject; the default).
+	PacketLevel ParallelismStrategy = iota
+	// ConnectionLevel binds each connection to one owning processor
+	// (Multiprocessor STREAMS style): connection state never contends
+	// and per-connection order is preserved by construction, but a
+	// connection cannot use more than one processor.
+	ConnectionLevel
+	// Layered assigns protocol layers to processors and pipelines
+	// packets between them, paying a context switch per boundary.
+	Layered
+)
+
+// Machine selects the simulated hardware generation (Section 7).
+type Machine int
+
+// Machines.
+const (
+	// Challenge100 is the 8-processor 100 MHz R4400 SGI Challenge, the
+	// paper's primary platform.
+	Challenge100 Machine = iota
+	// Challenge150 is the 150 MHz R4400 Challenge.
+	Challenge150
+	// PowerSeries33 is the previous-generation 33 MHz R3000 Power
+	// Series with a dedicated synchronization bus (four processors).
+	PowerSeries33
+)
+
+// Config describes one workload.
+type Config struct {
+	Protocol   Protocol
+	Side       Side
+	Processors int
+	// Connections: 1 shares one connection among all processors;
+	// values > 1 assign connection (proc mod Connections) to each
+	// processor. The paper's multi-connection tests use one connection
+	// per processor.
+	Connections int
+	PacketSize  int  // bytes of application payload per packet (1024, 4096)
+	Checksum    bool // compute transport checksums
+	Machine     Machine
+
+	Layout        Layout
+	LockKind      LockKind
+	Strategy      ParallelismStrategy
+	AssumeInOrder bool // treat every packet as in order (Figure 10 bound)
+	Ticketing     bool // preserve order above TCP (Section 4.2)
+
+	MessageCaching bool // per-processor MNode caches (Section 6)
+	AtomicRefs     bool // atomic vs lock-based refcounts (Section 5.2)
+	MapLocking     bool // lock the demux maps (Section 3.1 experiment)
+	WiredThreads   bool // wire one thread per processor
+
+	// Measurement methodology (virtual time; the paper used 30 s
+	// warm-up, 30 s measurement, 10 runs).
+	WarmupMs  int64
+	MeasureMs int64
+	Runs      int
+	Seed      uint64
+}
+
+// DefaultConfig is the paper's baseline: UDP send side, one processor,
+// 4 KB packets with checksumming, message caching, atomic refcounts,
+// TCP-1 with mutex locks, wired threads, 100 MHz Challenge, and a
+// scaled-down measurement protocol.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:       UDP,
+		Side:           Send,
+		Processors:     1,
+		Connections:    1,
+		PacketSize:     4096,
+		Checksum:       true,
+		Machine:        Challenge100,
+		Layout:         TCP1,
+		LockKind:       MutexLock,
+		MessageCaching: true,
+		AtomicRefs:     true,
+		MapLocking:     true,
+		WiredThreads:   true,
+		WarmupMs:       500,
+		MeasureMs:      1000,
+		Runs:           3,
+		Seed:           1994,
+	}
+}
+
+// Result reports one configuration's measurements.
+type Result struct {
+	// Mbps is the mean steady-state throughput in Mbit/s.
+	Mbps float64
+	// CI90 is the 90% confidence interval half-width over the runs.
+	CI90 float64
+	// Samples holds each run's throughput.
+	Samples []float64
+	// OutOfOrderPct is the percentage of data segments arriving out of
+	// order at TCP (receive side).
+	OutOfOrderPct float64
+	// WireOutOfOrderPct is the percentage misordered below TCP on the
+	// wire (send side).
+	WireOutOfOrderPct float64
+	// LockWaitFraction is time blocked on connection-state locks
+	// divided by total processor time (the paper's Pixie figure).
+	LockWaitFraction float64
+	// Packets transferred during the last run's measurement interval.
+	Packets int64
+}
+
+func (c Config) toCore() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Proto = core.Proto(c.Protocol)
+	cfg.Side = core.Side(c.Side)
+	cfg.Procs = c.Processors
+	cfg.Connections = c.Connections
+	cfg.PacketSize = c.PacketSize
+	cfg.Checksum = c.Checksum
+	switch c.Machine {
+	case Challenge100:
+		cfg.Machine = cost.Challenge100
+	case Challenge150:
+		cfg.Machine = cost.Challenge150
+	case PowerSeries33:
+		cfg.Machine = cost.PowerSeries33
+	default:
+		return cfg, fmt.Errorf("parnet: unknown machine %d", c.Machine)
+	}
+	switch c.Layout {
+	case TCP1:
+		cfg.Layout = tcp.Layout1
+	case TCP2:
+		cfg.Layout = tcp.Layout2
+	case TCP6:
+		cfg.Layout = tcp.Layout6
+	default:
+		return cfg, fmt.Errorf("parnet: unknown layout %d", c.Layout)
+	}
+	switch c.LockKind {
+	case MutexLock:
+		cfg.LockKind = sim.KindMutex
+	case MCSLock:
+		cfg.LockKind = sim.KindMCS
+	case TicketLock:
+		cfg.LockKind = sim.KindTicket
+	default:
+		return cfg, fmt.Errorf("parnet: unknown lock kind %d", c.LockKind)
+	}
+	switch c.Strategy {
+	case PacketLevel:
+		cfg.Strategy = core.StrategyPacket
+	case ConnectionLevel:
+		cfg.Strategy = core.StrategyConnection
+	case Layered:
+		cfg.Strategy = core.StrategyLayered
+	default:
+		return cfg, fmt.Errorf("parnet: unknown strategy %d", c.Strategy)
+	}
+	cfg.AssumeInOrder = c.AssumeInOrder
+	cfg.Ticketing = c.Ticketing
+	cfg.MsgCache = c.MessageCaching
+	if c.AtomicRefs {
+		cfg.RefMode = sim.RefAtomic
+	} else {
+		cfg.RefMode = sim.RefLocked
+	}
+	cfg.MapLocking = c.MapLocking
+	cfg.Wired = c.WiredThreads
+	cfg.Seed = c.Seed
+	return cfg, nil
+}
+
+// Run measures one configuration: Runs independent runs, each with a
+// warm-up then a timed steady-state interval, on fresh stacks.
+func Run(c Config) (Result, error) {
+	if c.Processors <= 0 {
+		return Result{}, errors.New("parnet: Processors must be positive")
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.WarmupMs <= 0 {
+		c.WarmupMs = 500
+	}
+	if c.MeasureMs <= 0 {
+		c.MeasureMs = 1000
+	}
+	cfg, err := c.toCore()
+	if err != nil {
+		return Result{}, err
+	}
+	sum, agg, err := core.Measure(cfg, c.WarmupMs*1_000_000, c.MeasureMs*1_000_000, c.Runs)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Mbps:              sum.Mean,
+		CI90:              sum.CI90,
+		Samples:           sum.Samples,
+		OutOfOrderPct:     agg.OOOPct,
+		WireOutOfOrderPct: agg.WireOOOPct,
+		LockWaitFraction:  agg.LockWaitFrac,
+		Packets:           agg.Packets,
+	}, nil
+}
+
+// ProfileRun measures one run of the configuration and additionally
+// returns a Pixie-style profile report: per-lock wait and hold times,
+// message-tool and demultiplexing statistics, and protocol counters.
+func ProfileRun(c Config) (Result, string, error) {
+	if c.Processors <= 0 {
+		return Result{}, "", errors.New("parnet: Processors must be positive")
+	}
+	if c.WarmupMs <= 0 {
+		c.WarmupMs = 500
+	}
+	if c.MeasureMs <= 0 {
+		c.MeasureMs = 1000
+	}
+	cfg, err := c.toCore()
+	if err != nil {
+		return Result{}, "", err
+	}
+	st, err := core.Build(cfg)
+	if err != nil {
+		return Result{}, "", err
+	}
+	rr, err := st.Run(c.WarmupMs*1_000_000, c.MeasureMs*1_000_000)
+	if err != nil {
+		return Result{}, "", err
+	}
+	res := Result{
+		Mbps:              rr.Mbps,
+		Samples:           []float64{rr.Mbps},
+		OutOfOrderPct:     rr.OOOPct,
+		WireOutOfOrderPct: rr.WireOOOPct,
+		LockWaitFraction:  rr.LockWaitFrac,
+		Packets:           rr.Packets,
+	}
+	return res, st.ProfileReport(), nil
+}
+
+// Sweep measures the configuration at every processor count from 1 to
+// maxProcs, returning one Result per count. With Connections > 1, the
+// connection count follows the processor count (one per processor).
+func Sweep(c Config, maxProcs int) ([]Result, error) {
+	var out []Result
+	for n := 1; n <= maxProcs; n++ {
+		cc := c
+		cc.Processors = n
+		if c.Connections > 1 {
+			cc.Connections = n
+		}
+		r, err := Run(cc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Speedup normalizes a sweep to its first point.
+func Speedup(rs []Result) []float64 {
+	pts := make([]measure.Result, len(rs))
+	for i, r := range rs {
+		pts[i] = measure.Result{Mean: r.Mbps}
+	}
+	return measure.Speedup(pts)
+}
+
+// Experiment identifies one reproducible table or figure of the paper.
+type Experiment struct {
+	ID      string
+	Figures string
+	Brief   string
+}
+
+// Experiments lists the full catalog in paper order.
+func Experiments() []Experiment {
+	var out []Experiment
+	for _, s := range experiments.Catalog() {
+		out = append(out, Experiment{ID: s.ID, Figures: s.Figures, Brief: s.Brief})
+	}
+	return out
+}
+
+// ExperimentParams scales the measurement effort of RunExperiment.
+type ExperimentParams struct {
+	MaxProcs  int
+	WarmupMs  int64
+	MeasureMs int64
+	Runs      int
+	Seed      uint64
+}
+
+// RunExperiment regenerates one paper table/figure by ID (for example
+// "fig08-09" or "table1") and returns the rendered text tables.
+func RunExperiment(id string, p ExperimentParams) ([]string, error) {
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("parnet: unknown experiment %q", id)
+	}
+	ep := experiments.DefaultParams()
+	if p.MaxProcs > 0 {
+		ep.MaxProcs = p.MaxProcs
+	}
+	if p.WarmupMs > 0 {
+		ep.WarmupNs = p.WarmupMs * 1_000_000
+	}
+	if p.MeasureMs > 0 {
+		ep.MeasureNs = p.MeasureMs * 1_000_000
+	}
+	if p.Runs > 0 {
+		ep.Runs = p.Runs
+	}
+	if p.Seed != 0 {
+		ep.Seed = p.Seed
+	}
+	tables, err := spec.Run(ep)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, tb := range tables {
+		out = append(out, tb.String())
+	}
+	return out, nil
+}
