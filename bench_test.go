@@ -132,6 +132,10 @@ func BenchmarkExtSkewedConnections(b *testing.B) { runSpec(b, "ext-skew") }
 // head to head (the paper's Section 8 future work).
 func BenchmarkExtStrategies(b *testing.B) { runSpec(b, "ext-strategies") }
 
+// Extension: throughput under deterministic loss/corruption — the first
+// workload in which the retransmission machinery runs under contention.
+func BenchmarkExtLoss(b *testing.B) { runSpec(b, "ext-loss") }
+
 // Ablations beyond the paper's own figures (DESIGN.md section 6).
 func BenchmarkAblationFIFOKind(b *testing.B)         { runSpec(b, "ablation-fifo") }
 func BenchmarkAblationMapCache(b *testing.B)         { runSpec(b, "ablation-mapcache") }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot     = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
 		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
+		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
 	)
 	flag.Parse()
 
@@ -59,6 +61,16 @@ func main() {
 	}
 	if *quick {
 		p = experiments.QuickParams()
+	}
+	if *loss != "" {
+		for _, f := range strings.Split(*loss, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r < 0 || r > 1 {
+				fmt.Fprintf(os.Stderr, "ppbench: bad -loss rate %q (want values in [0,1])\n", f)
+				os.Exit(2)
+			}
+			p.LossRates = append(p.LossRates, r)
+		}
 	}
 
 	var specs []experiments.Spec

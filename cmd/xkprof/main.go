@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 )
@@ -30,6 +31,17 @@ func main() {
 		warmupMs  = flag.Int64("warmup", 500, "virtual warm-up, ms")
 		measureMs = flag.Int64("measure", 1000, "virtual measurement interval, ms")
 		seed      = flag.Uint64("seed", 1994, "PRNG seed")
+
+		// Fault-injection wire (applied to the data direction for the
+		// chosen side: inbound for recv, outbound for send).
+		drop      = flag.Float64("drop", 0, "fault wire: frame drop probability")
+		dup       = flag.Float64("dup", 0, "fault wire: frame duplication probability")
+		corrupt   = flag.Float64("corrupt", 0, "fault wire: frame corruption probability")
+		reorder   = flag.Float64("reorder", 0, "fault wire: frame reorder probability")
+		delay     = flag.Float64("delay", 0, "fault wire: frame delay probability")
+		delayNs   = flag.Int64("delayns", 0, "fault wire: max extra delay, virtual ns (default 50000)")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault schedule seed (0: derive from -seed)")
+		enforce   = flag.Bool("enforce-checksum", false, "drop (not just count) checksum-bad segments")
 	)
 	flag.Parse()
 
@@ -84,7 +96,19 @@ func main() {
 	cfg.Connections = *conns
 	cfg.PacketSize = *size
 	cfg.Checksum = *checksum
+	cfg.EnforceChecksum = *enforce
 	cfg.Seed = *seed
+
+	rates := driver.FaultRates{
+		Drop: *drop, Dup: *dup, Corrupt: *corrupt,
+		Reorder: *reorder, Delay: *delay, DelayNs: *delayNs,
+	}
+	cfg.Faults.Seed = *faultSeed
+	if cfg.Side == core.SideRecv {
+		cfg.Faults.Up = rates // damage inbound data frames
+	} else {
+		cfg.Faults.Down = rates // damage outbound data frames
+	}
 
 	st, err := core.Build(cfg)
 	if err != nil {

@@ -77,8 +77,19 @@ type Config struct {
 	Connections int // 1 = single connection; otherwise conn = proc mod Connections
 	PacketSize  int
 	Checksum    bool
-	Machine     cost.Machine
-	Seed        uint64
+	// EnforceChecksum upgrades receive-side checksumming from
+	// verify-and-ignore (the paper's measurement mode) to
+	// verify-and-drop, so corrupted frames act as loss. Only meaningful
+	// with Checksum on; the fault-injection experiments set it.
+	EnforceChecksum bool
+	Machine         cost.Machine
+	Seed            uint64
+
+	// Faults configures the deterministic fault-injection wire between
+	// the driver and the FDDI layer (drop/duplicate/corrupt/delay/
+	// reorder, per direction). All-zero — the default — builds the
+	// identical stack as before: the wire is not even inserted.
+	Faults driver.FaultConfig
 
 	// TCP structure.
 	Layout             tcp.Layout
@@ -162,6 +173,7 @@ type Stack struct {
 	udpSrc  *driver.UDPSource
 	tcpRecv *driver.SimTCPReceiver // peer for send-side tests
 	tcpSend *driver.SimTCPSender   // peer for recv-side tests
+	fault   *driver.FaultWire      // nil unless Cfg.Faults is enabled
 
 	stop sim.Flag
 
@@ -224,19 +236,45 @@ func Build(cfg Config) (*Stack, error) {
 		wire = s.tcpSend
 	}
 
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		if fcfg.Seed == 0 {
+			// Derive from the engine seed so Measure's per-run seeds
+			// vary the schedule while any single config stays
+			// bit-reproducible.
+			fcfg.Seed = cfg.Seed ^ 0x9E3779B97F4A7C15
+		}
+		s.fault = driver.NewFaultWire(fcfg, s.Alloc, wire)
+		wire = s.fault
+		// The driver peers must behave like real endpoints once frames
+		// can be lost: exact cumulative acks on the receive peer, and
+		// dup-ack/timeout retransmission on the send peer.
+		if s.tcpRecv != nil {
+			s.tcpRecv.Strict = true
+		}
+		if s.tcpSend != nil {
+			s.tcpSend.FaultRecovery = true
+		}
+	}
+
 	s.FDDI = fddi.New(fddi.Config{
 		Self:       xkernel.MAC{0xA, 0, 0, 0, 0, 1},
 		RefMode:    cfg.RefMode,
 		MapLocking: cfg.MapLocking,
 		MapNoCache: !cfg.MapCache,
 	}, wire)
+	upper := xkernel.Upper(s.FDDI)
+	if s.fault != nil {
+		s.fault.SetUpper(s.FDDI)
+		upper = s.fault
+	}
 	switch {
 	case s.udpSrc != nil:
-		s.udpSrc.SetUpper(s.FDDI)
+		s.udpSrc.SetUpper(upper)
 	case s.tcpRecv != nil:
-		s.tcpRecv.SetUpper(s.FDDI)
+		s.tcpRecv.SetUpper(upper)
 	case s.tcpSend != nil:
-		s.tcpSend.SetUpper(s.FDDI)
+		s.tcpSend.SetUpper(upper)
 	}
 
 	low := ip.LowerFDDI(fddi.MTU, func(t *sim.Thread, remote xkernel.MAC, proto uint16) (xkernel.Session, error) {
@@ -245,10 +283,14 @@ func Build(cfg Config) (*Stack, error) {
 	s.IP = ip.New(ip.Config{Local: driver.HostLocal, RefMode: cfg.RefMode}, low, s.Wheel, s.Alloc)
 
 	ck := func(on bool) int {
-		if on {
+		switch {
+		case !on:
+			return 0
+		case cfg.EnforceChecksum:
+			return 2 // Enforce: verify and drop on mismatch
+		default:
 			return 1 // Compute: the drivers do not checksum, receivers verify-and-ignore
 		}
-		return 0
 	}
 	switch cfg.Proto {
 	case ProtoUDP:
@@ -412,6 +454,15 @@ func (s *Stack) Bytes() int64 {
 	}
 }
 
+// FaultStats returns the fault wire's counters (all zero when no
+// faults are configured).
+func (s *Stack) FaultStats() driver.FaultStats {
+	if s.fault == nil {
+		return driver.FaultStats{}
+	}
+	return s.fault.Stats()
+}
+
 // pump is one processor's protocol thread.
 func (s *Stack) pump(t *sim.Thread, p int) {
 	cfg := &s.Cfg
@@ -503,12 +554,20 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 			if s.tcpRecv != nil {
 				s.tcpRecv.StopAckFlush()
 			}
+			if s.fault != nil {
+				s.fault.Shutdown(t)
+			}
 			s.closeStrategyQueues(t)
 			s.Wheel.Stop()
 		}()
 		if err := s.setup(t); err != nil {
 			runErr = err
 			return
+		}
+		if s.fault != nil {
+			// Arm only after the loss-free handshakes complete: a
+			// dropped SYN would deadlock the synchronous setup.
+			s.fault.Arm()
 		}
 		switch cfg.Strategy {
 		case StrategyConnection:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/driver"
 	"repro/internal/sim"
 )
 
@@ -90,10 +91,37 @@ func (s *Stack) ProfileReport() string {
 			ts.SegsIn, ts.DataSegsIn, ts.OOOSegsIn, ts.Predicted, ts.SegsOut, ts.AcksOut)
 		fmt.Fprintf(&b, "  delivered %d, rexmt %d (+%d fast), dropped %d, checksum-bad %d\n",
 			ts.Delivered, ts.Rexmt, ts.FastRexmt, ts.Dropped, ts.ChecksumBad)
+		if ts.SegsIn > 0 {
+			// Header prediction is attempted for every arriving segment
+			// — data and pure acks alike — so its hit rate is over
+			// SegsIn. Out-of-order arrival is a property of data
+			// segments only, so that rate is over DataSegsIn.
+			fmt.Fprintf(&b, "  header prediction hit rate %.1f%% (%d/%d segs)\n",
+				100*float64(ts.Predicted)/float64(ts.SegsIn), ts.Predicted, ts.SegsIn)
+		}
 		if ts.DataSegsIn > 0 {
-			fmt.Fprintf(&b, "  header prediction hit rate %.1f%%, out-of-order %.1f%%\n",
-				100*float64(ts.Predicted)/float64(ts.SegsIn),
-				100*float64(ts.OOOSegsIn)/float64(ts.DataSegsIn))
+			fmt.Fprintf(&b, "  out-of-order %.1f%% of %d data segs\n",
+				100*float64(ts.OOOSegsIn)/float64(ts.DataSegsIn), ts.DataSegsIn)
+		}
+	}
+	if s.fault != nil {
+		fs := s.fault.Stats()
+		fmt.Fprintf(&b, "\nFault wire:\n")
+		dir := func(name string, d driver.FaultDirStats) {
+			if d.Frames == 0 && d.Dropped == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "  %-20s %7d frames: %d dropped, %d duplicated, %d corrupted, %d delayed, %d reordered\n",
+				name, d.Frames, d.Dropped, d.Duplicated, d.Corrupted, d.Delayed, d.Reordered)
+		}
+		dir("up (wire->stack)", fs.Up)
+		dir("down (stack->wire)", fs.Down)
+		if s.tcpSend != nil {
+			dup, to := s.tcpSend.Rexmts()
+			fmt.Fprintf(&b, "  peer retransmissions: %d on dup-acks, %d on timeout\n", dup, to)
+		}
+		if s.tcpRecv != nil {
+			fmt.Fprintf(&b, "  peer rejected %d bad-checksum frames\n", s.tcpRecv.BadChecksums())
 		}
 	}
 	if s.IP != nil {

@@ -3,7 +3,9 @@ package driver
 import (
 	"fmt"
 
+	"repro/internal/chksum"
 	"repro/internal/event"
+	"repro/internal/ip"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -28,6 +30,14 @@ type SimTCPReceiver struct {
 	Window uint32
 	// AckEvery acknowledges every n-th data segment (default 2).
 	AckEvery int
+	// Strict enables exact cumulative acknowledgement: the peer acks
+	// only contiguous data, parks out-of-order ranges, verifies
+	// checksums (dropping corrupt frames as loss), and answers every
+	// gap arrival with an immediate duplicate ack. Required when a
+	// fault wire can damage frames — the fast-path maxEnd shortcut
+	// below would otherwise acknowledge data that never arrived,
+	// hiding the loss from the real sender's recovery machinery.
+	Strict bool
 
 	ring  sim.Mutex
 	conns map[uint32]*simRecvConn
@@ -37,9 +47,13 @@ type SimTCPReceiver struct {
 	bytes    int64
 	wireSegs int64
 	wireOOO  int64
+	badSum   int64
 
 	stopFlush sim.Flag
 }
+
+// simRange is a parked out-of-order byte range [s, e).
+type simRange struct{ s, e uint32 }
 
 type simRecvConn struct {
 	// Port pair from the real sender's perspective.
@@ -50,7 +64,8 @@ type simRecvConn struct {
 	started      bool
 	unacked      int
 	pendingAck   bool
-	tmpl         []byte // preconstructed ack frame (peer -> sender)
+	ranges       []simRange // Strict: sorted OOO ranges beyond maxEnd
+	tmpl         []byte     // preconstructed ack frame (peer -> sender)
 }
 
 // NewSimTCPReceiver builds the driver with conns preconfigured
@@ -113,6 +128,17 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 		m.Free(t)
 		return fmt.Errorf("driver: unknown connection %d->%d", sg.SPort, sg.DPort)
 	}
+	// In strict mode, verify any nonzero checksum before the frame goes
+	// away: a corrupt frame is treated exactly like a lost one. (Zero
+	// means the sender did not checksum; the drivers' templates leave it
+	// zero by design.)
+	if d.Strict && len(frame) >= tcpFrameHdr &&
+		(frame[offTCP+18] != 0 || frame[offTCP+19] != 0) &&
+		!chksum.Verify(HostLocal, HostPeer, ip.ProtoTCP, frame[offTCP:]) {
+		d.badSum++
+		m.Free(t)
+		return nil
+	}
 	m.Free(t)
 
 	switch {
@@ -141,6 +167,9 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 		} else {
 			c.lastEnd = end
 		}
+		if d.Strict {
+			return d.strictData(t, c, sg.Seq, end)
+		}
 		if int32(end-c.maxEnd) > 0 {
 			c.maxEnd = end
 		}
@@ -160,6 +189,99 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 		return nil
 	}
 }
+
+// strictData is the Strict-mode data path: exact cumulative
+// acknowledgement. Bytes and packets count only once per unique byte
+// of payload; gaps park in a sorted range list; every duplicate or
+// out-of-order arrival triggers an immediate duplicate ack so the real
+// sender's fast-retransmit counter can fire.
+func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint32) error {
+	switch {
+	case int32(end-c.maxEnd) <= 0:
+		// Entirely old: a retransmission of data already acknowledged.
+		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+
+	case int32(seq-c.maxEnd) <= 0:
+		// Advances the cumulative point. Count only bytes not already
+		// covered by parked ranges (a retransmission can overlap data
+		// that arrived out of order earlier).
+		newStart := c.maxEnd
+		counted := int64(0)
+		for _, r := range c.ranges {
+			if int32(r.s-end) >= 0 {
+				break
+			}
+			if int32(r.s-newStart) > 0 {
+				counted += int64(r.s - newStart)
+			}
+			if int32(r.e-newStart) > 0 {
+				newStart = r.e
+			}
+		}
+		if int32(end-newStart) > 0 {
+			counted += int64(end - newStart)
+		}
+		if counted > 0 {
+			d.pkts++
+			d.bytes += counted
+		}
+		filledGap := len(c.ranges) > 0
+		c.maxEnd = end
+		for len(c.ranges) > 0 && int32(c.ranges[0].s-c.maxEnd) <= 0 {
+			if int32(c.ranges[0].e-c.maxEnd) > 0 {
+				c.maxEnd = c.ranges[0].e
+			}
+			c.ranges = c.ranges[1:]
+		}
+		if filledGap {
+			// A retransmission just filled (part of) a hole: ack the
+			// jump immediately so the stalled sender reopens its window
+			// now, not at the next delayed-ack flush.
+			c.unacked = 0
+			c.pendingAck = false
+			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		}
+		c.unacked++
+		if c.unacked >= d.AckEvery {
+			c.unacked = 0
+			c.pendingAck = false
+			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		}
+		c.pendingAck = true
+		return nil
+
+	default:
+		// Gap: park the range and tell the sender where we are, now.
+		if c.park(seq, end) {
+			d.pkts++
+			d.bytes += int64(end - seq)
+		}
+		c.unacked = 0
+		c.pendingAck = false
+		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+	}
+}
+
+// park inserts [s, e) into the sorted out-of-order list; false means
+// the exact range is already parked (a duplicate).
+func (c *simRecvConn) park(s, e uint32) bool {
+	i := 0
+	for ; i < len(c.ranges); i++ {
+		if c.ranges[i].s == s {
+			return false
+		}
+		if int32(s-c.ranges[i].s) < 0 {
+			break
+		}
+	}
+	c.ranges = append(c.ranges, simRange{})
+	copy(c.ranges[i+1:], c.ranges[i:])
+	c.ranges[i] = simRange{s, e}
+	return true
+}
+
+// BadChecksums reports frames rejected by Strict-mode verification.
+func (d *SimTCPReceiver) BadChecksums() int64 { return d.badSum }
 
 // inject builds an acknowledgement from the preconstructed template and
 // sends it back up the stack on the calling thread.

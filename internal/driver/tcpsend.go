@@ -20,8 +20,18 @@ type SimTCPSender struct {
 	alloc *msg.Allocator
 	ring  sim.Mutex
 
-	payload int
-	conns   []*simSendConn
+	// FaultRecovery makes the peer behave like a real sender over a
+	// lossy wire: three duplicate acks retransmit the segment at the
+	// acknowledged offset, and a window-closed wait that outlasts the
+	// retransmission timeout resends it too. Off by default — over the
+	// error-free drivers it never triggers and the fast path stays
+	// byte-identical.
+	FaultRecovery bool
+
+	payload  int
+	conns    []*simSendConn
+	rexmtDup int64 // resends triggered by duplicate acks
+	rexmtTO  int64 // resends triggered by the Produce timeout
 }
 
 type simSendConn struct {
@@ -32,8 +42,15 @@ type simSendConn struct {
 	next         sim.Counter // payload offset allocator: in-order production
 	ackOff       uint32      // acknowledged payload offset
 	rcvWnd       uint32
+	dupAcks      int // FaultRecovery: consecutive duplicate acks seen
 	tmpl         []byte
 }
+
+// rexmtTimeoutNs is the FaultRecovery retransmission timeout: how long
+// Produce waits on a closed window before resending the oldest
+// unacknowledged segment. Far above the simulated RTT (microseconds),
+// far below the measurement intervals.
+const rexmtTimeoutNs = 10_000_000
 
 // NewSimTCPSender builds the driver with conns connections producing
 // payload-sized segments.
@@ -119,6 +136,18 @@ func (d *SimTCPSender) TX(t *sim.Thread, m *msg.Message) error {
 		off := sg.Ack - c.iss - 1
 		if int32(off-c.ackOff) > 0 {
 			c.ackOff = off
+			c.dupAcks = 0
+		} else if d.FaultRecovery && c.estab && sg.DLen == 0 &&
+			off == c.ackOff && int32(off-uint32(c.next.Load())) < 0 {
+			// Duplicate ack while data is outstanding: the receiver is
+			// missing the segment right at the ack point.
+			c.dupAcks++
+			if c.dupAcks >= 3 {
+				c.dupAcks = 0
+				d.rexmtDup++
+				c.rcvWnd = sg.Win
+				return d.resend(t, c)
+			}
 		}
 		c.rcvWnd = sg.Win
 		return nil
@@ -136,6 +165,7 @@ func (d *SimTCPSender) TX(t *sim.Thread, m *msg.Message) error {
 func (d *SimTCPSender) Produce(t *sim.Thread, conn int, stop *sim.Flag) (*msg.Message, bool, error) {
 	c := d.conns[conn]
 	ps := uint32(d.payload)
+	waited := int64(0)
 	for {
 		if stop != nil && stop.Get() {
 			return nil, false, nil
@@ -145,12 +175,54 @@ func (d *SimTCPSender) Produce(t *sim.Thread, conn int, stop *sim.Flag) (*msg.Me
 			if outstanding+ps <= c.rcvWnd {
 				break
 			}
+			if d.FaultRecovery && waited >= rexmtTimeoutNs {
+				// The window has been closed for a full retransmission
+				// timeout: the segment at the ack point was lost and no
+				// duplicate acks are flowing. Resend it.
+				waited = 0
+				d.rexmtTO++
+				if err := d.resend(t, c); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
 		}
 		// Window closed (or still connecting): the real receiver's
 		// delayed-ack flush or our peer's acks will reopen it.
 		t.Sleep(200_000)
+		waited += 200_000
 	}
 	return d.build(t, c, ps)
+}
+
+// Rexmts reports FaultRecovery resends: (duplicate-ack triggered,
+// timeout triggered).
+func (d *SimTCPSender) Rexmts() (int64, int64) { return d.rexmtDup, d.rexmtTO }
+
+// resend rebuilds and re-injects the segment at the acknowledged
+// offset — one-segment go-back-N recovery. Production is strictly
+// sequential in payload-sized units, so the lost segment starts
+// exactly at ackOff.
+func (d *SimTCPSender) resend(t *sim.Thread, c *simSendConn) error {
+	seq := c.iss + 1 + c.ackOff
+	m, err := d.alloc.New(t, len(c.tmpl), 0)
+	if err != nil {
+		return err
+	}
+	st := &t.Engine().C.Stack
+	d.ring.Acquire(t)
+	t.ChargeRand(st.DriverRing)
+	d.ring.Release(t)
+	t.ChargeRand(st.DriverRXGen)
+	if err := m.CopyTemplate(0, c.tmpl); err != nil {
+		m.Free(t)
+		return err
+	}
+	b, _ := m.Peek(m.Len())
+	patchTCPSeq(b, seq)
+	patchTCPAck(b, c.irs+1)
+	m.Seq = uint64(seq)
+	return d.Inject(t, m)
 }
 
 // TryProduce builds the next in-sequence data packet for connection

@@ -24,6 +24,9 @@ type Params struct {
 	MeasureNs int64 // virtual measurement interval per run
 	Runs      int   // runs averaged per point
 	Seed      uint64
+	// LossRates overrides the ext-loss ladder (default {0, 0.001,
+	// 0.01, 0.05}); other experiments ignore it.
+	LossRates []float64
 }
 
 // DefaultParams is the standard scaled-down methodology.
@@ -313,6 +316,12 @@ func specs() []Spec {
 			Figures: "(extension; paper §1 & §8 future work)",
 			Brief:   "Packet-level vs connection-level vs layered parallelism (TCP recv, 4 connections)",
 			Run:     runExtStrategies,
+		},
+		{
+			ID:      "ext-loss",
+			Figures: "(extension; fault-injection wire)",
+			Brief:   "TCP and UDP throughput under deterministic loss/corruption: spin vs MCS as recovery bursts amplify misordering",
+			Run:     runExtLoss,
 		},
 		{
 			ID:      "ablation-wheel",

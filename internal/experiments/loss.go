@@ -1,0 +1,126 @@
+package experiments
+
+// ext-loss: the stacks leave the paper's error-free wire (Section 2.3)
+// and run over the deterministic fault-injection channel. Every dropped
+// or corrupted frame forces the real TCP's recovery machinery —
+// retransmission timers, duplicate acks, fast retransmit, reassembly
+// drains, checksum rejection — to execute under the same multiprocessor
+// contention the paper studies, which the error-free experiments never
+// exercise.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// lossLadder is the swept loss-rate family.
+func lossLadder(p Params) []float64 {
+	if len(p.LossRates) > 0 {
+		return p.LossRates
+	}
+	return []float64{0, 0.001, 0.01, 0.05}
+}
+
+// lossyTCP configures one lossy TCP point. The loss rate is split
+// half drop, half corruption, so "1% loss" means 1% of frames fail to
+// arrive intact — but half of them pay the checksum-rejection path
+// instead of vanishing silently.
+func lossyTCP(side core.Side, kind sim.LockKind, rate float64) core.Config {
+	cfg := baselineTCP(side)
+	cfg.PacketSize = 4096
+	cfg.Checksum = true
+	cfg.EnforceChecksum = true
+	cfg.LockKind = kind
+	r := driver.FaultRates{Drop: rate / 2, Corrupt: rate / 2}
+	if side == core.SideRecv {
+		cfg.Faults.Up = r // inbound data damaged on its way to the stack
+	} else {
+		cfg.Faults.Down = r // outbound data damaged on its way to the peer
+	}
+	return cfg
+}
+
+// sendLossParams floors the send-side window so slow-timer recovery is
+// amortized rather than truncated: TCP's minimum retransmission timeout
+// is one virtual second (two 500 ms slow-timer ticks), so a loss the
+// fast-retransmit path misses stalls the sender for at least that long.
+// A sub-second measurement interval then reads zero throughput — a
+// window artifact, not a protocol property. (The receive side needs no
+// floor: there the losses are inbound and the simulated peer
+// retransmits immediately on duplicate acks.)
+func sendLossParams(p Params) Params {
+	const (
+		minWarmup  = 1_000_000_000
+		minMeasure = 4_000_000_000
+	)
+	if p.WarmupNs < minWarmup {
+		p.WarmupNs = minWarmup
+	}
+	if p.MeasureNs < minMeasure {
+		p.MeasureNs = minMeasure
+	}
+	return p
+}
+
+func runExtLoss(p Params) ([]measure.Table, error) {
+	kinds := []struct {
+		name string
+		kind sim.LockKind
+	}{
+		{"spin", sim.KindMutex},
+		{"MCS", sim.KindMCS},
+	}
+	var recvSeries, sendSeries []measure.Series
+	for _, rate := range lossLadder(p) {
+		for _, k := range kinds {
+			s, err := sweepProcs(lossyTCP(core.SideRecv, k.kind, rate), p, p.MaxProcs)
+			if err != nil {
+				return nil, err
+			}
+			s.Label = fmt.Sprintf("%s, %.1f%% loss", k.name, 100*rate)
+			recvSeries = append(recvSeries, s)
+
+			s, err = sweepProcs(lossyTCP(core.SideSend, k.kind, rate), sendLossParams(p), p.MaxProcs)
+			if err != nil {
+				return nil, err
+			}
+			s.Label = fmt.Sprintf("%s, %.1f%% loss", k.name, 100*rate)
+			sendSeries = append(sendSeries, s)
+		}
+	}
+
+	// UDP has no recovery: loss subtracts throughput linearly, a
+	// baseline showing what of TCP's degradation is recovery overhead.
+	var udpSeries []measure.Series
+	for _, rate := range []float64{0, 0.01} {
+		cfg := baselineUDP(core.SideRecv)
+		cfg.PacketSize = 4096
+		cfg.Checksum = true
+		cfg.Faults.Up = driver.FaultRates{Drop: rate}
+		s, err := sweepProcs(cfg, p, p.MaxProcs)
+		if err != nil {
+			return nil, err
+		}
+		s.Label = fmt.Sprintf("UDP recv, %.1f%% loss", 100*rate)
+		udpSeries = append(udpSeries, s)
+	}
+
+	return []measure.Table{
+		{
+			Title:  "Extension: TCP receive under loss+corruption (4KB, checksum enforced)",
+			XLabel: "procs", YLabel: "Mbit/s", Series: recvSeries,
+		},
+		{
+			Title:  "Extension: TCP send under loss+corruption (4KB, checksum enforced)",
+			XLabel: "procs", YLabel: "Mbit/s", Series: sendSeries,
+		},
+		{
+			Title:  "Extension: UDP receive under loss (no recovery baseline)",
+			XLabel: "procs", YLabel: "Mbit/s", Series: udpSeries,
+		},
+	}, nil
+}

@@ -173,6 +173,18 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			over := sg.dlen - int(tcb.rcvWnd)
 			if err := m.TrimBack(t, over); err == nil {
 				sg.dlen -= over
+			} else {
+				// Untrimmable tail: delivering (or parking) the segment
+				// with sg.dlen still oversized would overrun the
+				// advertised window and corrupt reassembly accounting.
+				// Drop the whole segment and ack so the peer retransmits
+				// from our edge. Its FIN, if any, rides sequence space we
+				// just refused, so it must not be processed either.
+				p.stats.Dropped++
+				needAckNow = true
+				sg.flags &^= FlagFIN
+				m.Free(t)
+				m = nil
 			}
 		}
 		if m != nil {

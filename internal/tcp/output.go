@@ -203,6 +203,10 @@ func (tcb *TCB) retransmit(t *sim.Thread, fast bool) error {
 		tcb.rxtShift++
 		if tcb.rxtShift > maxRexmtCnt {
 			tcb.unlockAll(t)
+			if m != nil {
+				// The clone drawn above will never be transmitted.
+				m.Free(t)
+			}
 			return tcb.dropWithReset(t, "rexmt limit")
 		}
 	}

@@ -342,6 +342,7 @@ func (tcb *TCB) Close(t *sim.Thread) error {
 func (tcb *TCB) Abort(t *sim.Thread) {
 	tcb.lockAll(t)
 	tcb.state = stateClosed
+	tcb.freeQueues(t)
 	tcb.notFull.Broadcast(t)
 	tcb.estCond.Broadcast(t)
 	tcb.unlockAll(t)
@@ -351,7 +352,31 @@ func (tcb *TCB) Abort(t *sim.Thread) {
 func (tcb *TCB) drop(t *sim.Thread, cause string) error {
 	tcb.closeCause = cause
 	tcb.state = stateClosed
+	tcb.freeQueues(t)
 	return tcb.p.tcbs.Unbind(t, tcbKey(tcb.part))
+}
+
+// freeQueues releases every message parked on the retransmission and
+// reassembly queues — nothing will ever retransmit or drain them once
+// the state is Closed. Called with the state lock held; takes the
+// sub-queue locks in the same state -> queue order as the data paths.
+func (tcb *TCB) freeQueues(t *sim.Thread) {
+	tcb.locks.lockRexmtQ(t)
+	for i := range tcb.rexmtQ {
+		if tcb.rexmtQ[i].m != nil {
+			tcb.rexmtQ[i].m.Free(t)
+		}
+	}
+	tcb.rexmtQ = nil
+	tcb.locks.unlockRexmtQ(t)
+	tcb.locks.lockReass(t)
+	for i := range tcb.reassQ {
+		if tcb.reassQ[i].m != nil {
+			tcb.reassQ[i].m.Free(t)
+		}
+	}
+	tcb.reassQ = nil
+	tcb.locks.unlockReass(t)
 }
 
 // sendControl emits a zero- or implicit-length control segment (SYN,

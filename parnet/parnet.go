@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/measure"
 	"repro/internal/sim"
@@ -125,6 +126,28 @@ const (
 	PowerSeries33
 )
 
+// FaultRates sets per-frame fault probabilities for one direction of
+// the fault-injection wire. All rates are in [0, 1].
+type FaultRates struct {
+	Drop    float64 // discard the frame
+	Dup     float64 // forward the frame twice
+	Corrupt float64 // flip a payload bit and stamp a bogus checksum
+	Reorder float64 // swap the frame with the next one
+	Delay   float64 // add extra wire latency
+	DelayNs int64   // bound on the extra latency (default 50 µs)
+}
+
+// FaultConfig configures the deterministic fault-injection wire between
+// the driver and the MAC layer. Inbound is the wire-to-stack direction,
+// Outbound the stack-to-wire direction. All-zero (the default) builds
+// the identical error-free stack as before. FaultSeed 0 derives the
+// schedule from the run seed.
+type FaultConfig struct {
+	Inbound   FaultRates
+	Outbound  FaultRates
+	FaultSeed uint64
+}
+
 // Config describes one workload.
 type Config struct {
 	Protocol   Protocol
@@ -137,7 +160,13 @@ type Config struct {
 	Connections int
 	PacketSize  int  // bytes of application payload per packet (1024, 4096)
 	Checksum    bool // compute transport checksums
-	Machine     Machine
+	// EnforceChecksum drops (rather than just counts) checksum-bad
+	// segments; the loss experiments pair it with Faults.Corrupt.
+	EnforceChecksum bool
+	Machine         Machine
+
+	// Faults configures the fault-injection wire (loss experiments).
+	Faults FaultConfig
 
 	Layout        Layout
 	LockKind      LockKind
@@ -264,6 +293,12 @@ func (c Config) toCore() (core.Config, error) {
 	cfg.MapLocking = c.MapLocking
 	cfg.Wired = c.WiredThreads
 	cfg.Seed = c.Seed
+	cfg.EnforceChecksum = c.EnforceChecksum
+	cfg.Faults = driver.FaultConfig{
+		Up:   driver.FaultRates(c.Faults.Inbound),
+		Down: driver.FaultRates(c.Faults.Outbound),
+		Seed: c.Faults.FaultSeed,
+	}
 	return cfg, nil
 }
 
