@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 		plot     = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
 		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
 		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
+		jsonOut  = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -47,8 +49,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "ppbench: -experiment required (or -list); try -experiment all")
+	if *exp == "" && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "ppbench: -experiment or -json required (or -list); try -experiment all")
 		os.Exit(2)
 	}
 
@@ -70,6 +72,16 @@ func main() {
 				os.Exit(2)
 			}
 			p.LossRates = append(p.LossRates, r)
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := writeProfiles(*jsonOut, p); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" {
+			return
 		}
 	}
 
@@ -108,4 +120,29 @@ func main() {
 		}
 		fmt.Printf("   (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeProfiles runs the traced profile suite and writes the records as
+// a JSON array to path ("-" for stdout).
+func writeProfiles(path string, p experiments.Params) error {
+	start := time.Now()
+	profiles, err := experiments.ProfileSuite(p)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(profiles, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("== profile suite: %d traced runs -> %s (%s wall time)\n\n",
+		len(profiles), path, time.Since(start).Round(time.Millisecond))
+	return nil
 }

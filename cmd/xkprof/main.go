@@ -42,6 +42,9 @@ func main() {
 		delayNs   = flag.Int64("delayns", 0, "fault wire: max extra delay, virtual ns (default 50000)")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault schedule seed (0: derive from -seed)")
 		enforce   = flag.Bool("enforce-checksum", false, "drop (not just count) checksum-bad segments")
+
+		traceOut   = flag.String("trace", "", "record the packet flight recorder and write a Chrome trace-event JSON (load in Perfetto) to FILE")
+		traceDepth = flag.Int("trace-depth", 0, "per-processor trace ring capacity (0: default 65536 events)")
 	)
 	flag.Parse()
 
@@ -98,6 +101,10 @@ func main() {
 	cfg.Checksum = *checksum
 	cfg.EnforceChecksum = *enforce
 	cfg.Seed = *seed
+	if *traceOut != "" {
+		cfg.Trace = true
+		cfg.TraceDepth = *traceDepth
+	}
 
 	rates := driver.FaultRates{
 		Drop: *drop, Dup: *dup, Corrupt: *corrupt,
@@ -121,6 +128,21 @@ func main() {
 	fmt.Printf("Throughput: %.1f Mbit/s  (ooo %.1f%%, wire-ooo %.2f%%, lock wait %.1f%% of processor time)\n\n",
 		res.Mbps, res.OOOPct, res.WireOOOPct, 100*res.LockWaitFrac)
 	fmt.Print(st.ProfileReport())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := st.Rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("\nwrote flight-recorder trace to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -62,6 +62,7 @@ func (s *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 	if s.Ordered && m.Ticketed && s.Seq != nil {
 		s.Seq.Done(t)
 	}
+	t.Engine().Rec.Deliver(t.Proc, t.Now(), m.Born)
 	m.Free(t)
 	return nil
 }
@@ -108,5 +109,6 @@ func (s *Source) Next(t *sim.Thread) (*msg.Message, error) {
 			return nil, err
 		}
 	}
+	m.Born = t.Now()
 	return m, nil
 }

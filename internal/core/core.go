@@ -33,6 +33,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 	"repro/internal/udp"
 	"repro/internal/xkernel"
 )
@@ -122,6 +123,15 @@ type Config struct {
 	// Strategy selects the parallelization strategy (Section 1):
 	// packet-level (default), connection-level, or layered.
 	Strategy Strategy
+
+	// Trace enables the packet flight recorder (internal/trace): ring
+	// buffers of per-processor events plus lock-wait, layer-residence
+	// and end-to-end latency histograms. Recording is virtual-time
+	// neutral — measurements are identical with tracing on or off.
+	Trace bool
+	// TraceDepth is the per-processor ring capacity (default
+	// trace.DefaultDepth).
+	TraceDepth int
 }
 
 // DefaultConfig returns the paper's baseline configuration (Section 3):
@@ -157,6 +167,8 @@ type Stack struct {
 	Eng   *sim.Engine
 	Wheel *event.Wheel
 	Alloc *msg.Allocator
+	// Rec is the flight recorder (nil unless Cfg.Trace).
+	Rec *trace.Recorder
 
 	FDDI *fddi.Protocol
 	IP   *ip.Protocol
@@ -203,6 +215,11 @@ func Build(cfg Config) (*Stack, error) {
 	}
 	s := &Stack{Cfg: cfg}
 	s.Eng = sim.New(cost.NewModel(cfg.Machine), cfg.Seed+1)
+	if cfg.Trace {
+		// procs+2 tracks: pumps plus the control and event threads.
+		s.Rec = trace.New(cfg.Procs+2, cfg.TraceDepth)
+		s.Eng.Rec = s.Rec
+	}
 
 	wcfg := event.DefaultConfig()
 	wcfg.PerChain = cfg.WheelPerChain

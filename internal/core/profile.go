@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ProfileReport renders a Pixie-style post-run profile: where the
@@ -26,17 +27,19 @@ func (s *Stack) ProfileReport() string {
 		if st.Acquires == 0 {
 			return
 		}
-		fmt.Fprintf(&b, "  %-26s %10d %10d %9.1f%% %8.2f ms %8.2f ms\n",
+		fmt.Fprintf(&b, "  %-26s %10d %10d %9.1f%% %8.2f ms %8.2f ms %5d\n",
 			name, st.Acquires, st.Contended,
 			100*float64(st.Contended)/float64(st.Acquires),
-			float64(st.WaitNs)/1e6, float64(st.HoldNs)/1e6)
+			float64(st.WaitNs)/1e6, float64(st.HoldNs)/1e6, st.MaxWaiters)
 	}
-	fmt.Fprintf(&b, "Locks:\n  %-26s %10s %10s %10s %11s %11s\n",
-		"lock", "acquires", "contended", "cont%", "wait", "hold")
+	fmt.Fprintf(&b, "Locks:\n  %-26s %10s %10s %10s %11s %11s %5s\n",
+		"lock", "acquires", "contended", "cont%", "wait", "hold", "maxw")
 	for i, tcb := range s.tcbs {
 		st := tcb.StateLockStats()
 		row(fmt.Sprintf("tcp-state[conn %d]", i), st)
-		if cpuTime > 0 {
+		// A zero-duration run (Run never called, or an empty measurement
+		// window) must not divide by elapsed.
+		if elapsed > 0 {
 			fmt.Fprintf(&b, "  %-26s waiting = %.1f%% of one processor, %.1f%% of all processor time\n",
 				"", 100*float64(st.WaitNs)/float64(elapsed),
 				100*float64(st.WaitNs)/float64(cpuTime))
@@ -128,6 +131,40 @@ func (s *Stack) ProfileReport() string {
 		is := s.IP.Stats()
 		fmt.Fprintf(&b, "\nIP: sent %d, received %d, frags out/in %d/%d, reassembled %d, timed out %d\n",
 			is.Sent, is.Received, is.FragsOut, is.FragsIn, is.Reassembled, is.TimedOut)
+	}
+	if s.Rec != nil {
+		b.WriteString(s.traceSection())
+	}
+	return b.String()
+}
+
+// TraceSectionHeader opens the flight-recorder addendum that tracing
+// appends to ProfileReport. Everything from this line on is present
+// only when Config.Trace is set; the report above it is byte-identical
+// with tracing on or off.
+const TraceSectionHeader = "\nTrace histograms (virtual ns):\n"
+
+// traceSection renders the recorder's histograms: per-lock wait, per-
+// layer residence (inclusive of nested layers), end-to-end latency.
+func (s *Stack) traceSection() string {
+	var b strings.Builder
+	b.WriteString(TraceSectionHeader)
+	hrow := func(name string, h *trace.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-26s n=%-9d p50=%-10d p90=%-10d p99=%-10d max=%d\n",
+			name, h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+	}
+	for _, name := range s.Rec.WaitNames() {
+		hrow("wait "+name, s.Rec.WaitHistogram(name))
+	}
+	for _, name := range s.Rec.LayerNames() {
+		hrow("layer "+name, s.Rec.LayerHistogram(name))
+	}
+	hrow("end-to-end", s.Rec.EndToEnd())
+	if d := s.Rec.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "  ring overwrote %d events (raise Config.TraceDepth for full timelines)\n", d)
 	}
 	return b.String()
 }

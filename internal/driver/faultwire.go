@@ -178,6 +178,7 @@ func (fw *FaultWire) channel(t *sim.Thread, m *msg.Message, r *FaultRates,
 
 	if r.Drop > 0 && fw.rng.Float64() < r.Drop {
 		ds.Dropped++
+		t.Engine().Rec.Fault(t.Proc, t.Now(), "drop")
 		m.Free(t)
 		return fw.release(t, held, fwd)
 	}
@@ -188,13 +189,16 @@ func (fw *FaultWire) channel(t *sim.Thread, m *msg.Message, r *FaultRates,
 		}
 		m = c
 		ds.Corrupted++
+		t.Engine().Rec.Fault(t.Proc, t.Now(), "corrupt")
 	}
 	if r.Delay > 0 && fw.rng.Float64() < r.Delay {
 		ds.Delayed++
+		t.Engine().Rec.Fault(t.Proc, t.Now(), "delay")
 		t.Charge(1 + int64(fw.rng.Intn(int(r.DelayNs))))
 	}
 	if r.Dup > 0 && fw.rng.Float64() < r.Dup {
 		ds.Duplicated++
+		t.Engine().Rec.Fault(t.Proc, t.Now(), "dup")
 		d := m.Clone(t)
 		if err := fwd(t, m); err != nil {
 			d.Free(t)
@@ -206,6 +210,7 @@ func (fw *FaultWire) channel(t *sim.Thread, m *msg.Message, r *FaultRates,
 		// Park this frame; it goes out after the next one, swapping the
 		// pair on the wire.
 		ds.Reordered++
+		t.Engine().Rec.Fault(t.Proc, t.Now(), "reorder")
 		*held = m
 		return nil
 	}
@@ -249,6 +254,7 @@ func (fw *FaultWire) corrupt(t *sim.Thread, m *msg.Message) (*msg.Message, error
 		return nil, err
 	}
 	c.Seq = m.Seq
+	c.Born = m.Born
 	m.Free(t)
 	cb, _ := c.Peek(c.Len())
 

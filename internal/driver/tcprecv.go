@@ -139,6 +139,7 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 		m.Free(t)
 		return nil
 	}
+	born := m.Born
 	m.Free(t)
 
 	switch {
@@ -168,13 +169,14 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 			c.lastEnd = end
 		}
 		if d.Strict {
-			return d.strictData(t, c, sg.Seq, end)
+			return d.strictData(t, c, sg.Seq, end, born)
 		}
 		if int32(end-c.maxEnd) > 0 {
 			c.maxEnd = end
 		}
 		d.pkts++
 		d.bytes += int64(sg.DLen)
+		t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		c.unacked++
 		if c.unacked >= d.AckEvery {
 			c.unacked = 0
@@ -195,7 +197,7 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 // of payload; gaps park in a sorted range list; every duplicate or
 // out-of-order arrival triggers an immediate duplicate ack so the real
 // sender's fast-retransmit counter can fire.
-func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint32) error {
+func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint32, born int64) error {
 	switch {
 	case int32(end-c.maxEnd) <= 0:
 		// Entirely old: a retransmission of data already acknowledged.
@@ -224,6 +226,7 @@ func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint
 		if counted > 0 {
 			d.pkts++
 			d.bytes += counted
+			t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		}
 		filledGap := len(c.ranges) > 0
 		c.maxEnd = end
@@ -255,6 +258,7 @@ func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint
 		if c.park(seq, end) {
 			d.pkts++
 			d.bytes += int64(end - seq)
+			t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		}
 		c.unacked = 0
 		c.pendingAck = false

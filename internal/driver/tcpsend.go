@@ -222,6 +222,8 @@ func (d *SimTCPSender) resend(t *sim.Thread, c *simSendConn) error {
 	patchTCPSeq(b, seq)
 	patchTCPAck(b, c.irs+1)
 	m.Seq = uint64(seq)
+	m.Born = t.Now()
+	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(seq))
 	return d.Inject(t, m)
 }
 
@@ -266,6 +268,8 @@ func (d *SimTCPSender) build(t *sim.Thread, c *simSendConn, ps uint32) (*msg.Mes
 	patchTCPSeq(b, seq)
 	patchTCPAck(b, c.irs+1)
 	m.Seq = uint64(seq)
+	m.Born = t.Now()
+	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(seq))
 	return m, true, nil
 }
 

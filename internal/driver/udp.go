@@ -42,6 +42,7 @@ func (s *UDPSink) TX(t *sim.Thread, m *msg.Message) error {
 	}
 	s.ring.Release(t)
 	t.ChargeRand(st.DriverTX)
+	t.Engine().Rec.Deliver(t.Proc, t.Now(), m.Born)
 	m.Free(t)
 	return nil
 }
@@ -105,6 +106,8 @@ func (s *UDPSource) Pump(t *sim.Thread, conn int) error {
 		return err
 	}
 	t.Interfere()
+	m.Born = t.Now()
+	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(conn))
 	return s.up.Demux(t, m)
 }
 

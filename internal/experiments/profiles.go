@@ -1,0 +1,80 @@
+package experiments
+
+// Machine-readable profile suite: a fixed family of traced single runs
+// whose ProfileJSON records (throughput plus lock-wait / layer-residence
+// / end-to-end latency distributions) give every optimisation PR a
+// comparable before/after artifact. `ppbench -json` writes the suite to
+// disk; CI archives it as BENCH_trace.json.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ProfileRun is one suite entry: a label plus the traced config.
+type ProfileRun struct {
+	Label string
+	Cfg   core.Config
+}
+
+// profileRuns builds the suite at p.MaxProcs processors: the paper's
+// central contended case (TCP receive, spin locks), its fix (MCS), the
+// send side, the UDP baseline, and a lossy run that exercises the
+// recovery machinery.
+func profileRuns(p Params) []ProfileRun {
+	procs := p.MaxProcs
+	if procs < 1 {
+		procs = 1
+	}
+	tcpRecv := baselineTCP(core.SideRecv)
+	tcpRecv.PacketSize = 4096
+	tcpRecv.Checksum = true
+
+	mcs := tcpRecv
+	mcs.LockKind = sim.KindMCS
+
+	tcpSend := baselineTCP(core.SideSend)
+	tcpSend.PacketSize = 4096
+	tcpSend.Checksum = true
+
+	udpRecv := baselineUDP(core.SideRecv)
+	udpRecv.PacketSize = 4096
+	udpRecv.Checksum = true
+
+	lossy := lossyTCP(core.SideRecv, sim.KindMutex, 0.01)
+
+	runs := []ProfileRun{
+		{fmt.Sprintf("tcp-recv-mutex-%dp", procs), tcpRecv},
+		{fmt.Sprintf("tcp-recv-mcs-%dp", procs), mcs},
+		{fmt.Sprintf("tcp-send-mutex-%dp", procs), tcpSend},
+		{fmt.Sprintf("udp-recv-%dp", procs), udpRecv},
+		{fmt.Sprintf("tcp-recv-loss1pct-%dp", procs), lossy},
+	}
+	for i := range runs {
+		runs[i].Cfg.Procs = procs
+		runs[i].Cfg.Seed = p.Seed
+		runs[i].Cfg.Trace = true
+	}
+	return runs
+}
+
+// ProfileSuite runs the fixed suite once per entry (single run each —
+// the profiles are distributions over packets, not over runs) and
+// returns the machine-readable records.
+func ProfileSuite(p Params) ([]core.ProfileJSON, error) {
+	var out []core.ProfileJSON
+	for _, r := range profileRuns(p) {
+		st, err := core.Build(r.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", r.Label, err)
+		}
+		res, err := st.Run(p.WarmupNs, p.MeasureNs)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", r.Label, err)
+		}
+		out = append(out, st.Profile(r.Label, res))
+	}
+	return out, nil
+}

@@ -102,6 +102,10 @@ func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
 	if m.Len() > MTU {
 		return ErrTooBig
 	}
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "fddi-send", start, t.Now()-start) }()
+	}
 	t.ChargeRand(t.Engine().C.Stack.FDDISend)
 	h, err := m.Push(t, HdrLen)
 	if err != nil {
@@ -121,6 +125,10 @@ func (s *Session) Close(t *sim.Thread) error {
 // to the upper protocol registered for its type. The map lookup is the
 // receive-side locking point.
 func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "fddi-recv", start, t.Now()-start) }()
+	}
 	t.ChargeRand(t.Engine().C.Stack.FDDIRecv)
 	h, err := m.Pop(t, HdrLen)
 	if err != nil {

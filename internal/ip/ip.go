@@ -190,6 +190,10 @@ func writeHeader(h []byte, totLen int, id uint16, flagsOff uint16, proto uint8, 
 // Push sends a transport segment, fragmenting when it exceeds the MTU.
 // The datagram identifier is atomically incremented per datagram.
 func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "ip-send", start, t.Now()-start) }()
+	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.IPSend)
 	id := uint16(s.p.id.Add(t, 1))
@@ -267,6 +271,10 @@ type reassEntry struct {
 // Demux handles an arriving IP packet: header validation, reassembly if
 // fragmented, and dispatch to the transport protocol.
 func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "ip-recv", start, t.Now()-start) }()
+	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.IPRecv)
 	h, err := m.Pop(t, HdrLen)

@@ -197,6 +197,13 @@ type Message struct {
 	// x-kernel passes such out-of-band data as message attributes).
 	SrcAddr [4]byte
 	DstAddr [4]byte
+
+	// Born is the virtual time this packet's payload entered the
+	// system (stamped by the application source or receiving driver;
+	// zero when unstamped). The flight recorder's end-to-end latency
+	// histogram is fed from it at final consumption. Clone copies it;
+	// Fragment propagates it to each fragment.
+	Born int64
 }
 
 // New allocates a message with size bytes of payload space and the given
@@ -312,7 +319,7 @@ func (m *Message) Fragment(t *sim.Thread, off, n int) (*Message, error) {
 		return nil, ErrNoRoom
 	}
 	m.node.ref.Incr(t)
-	return &Message{node: m.node, head: m.head + off, tail: m.head + off + n}, nil
+	return &Message{node: m.node, head: m.head + off, tail: m.head + off + n, Born: m.Born}, nil
 }
 
 // Free drops this view's reference, returning the node to the allocator

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/trace"
 )
 
 // threadState tracks where a thread is in its lifecycle.
@@ -108,6 +109,13 @@ type Engine struct {
 	// Trace, when non-nil, receives one line per scheduling decision;
 	// used by tests.
 	Trace func(string)
+
+	// Rec, when non-nil, is the packet flight recorder. Instrumented
+	// code reaches it via Thread.Engine().Rec; every recording method
+	// is nil-safe, so the disabled path is a single pointer test.
+	// Recording never charges virtual time or draws from a thread's
+	// RNG: measurements are bit-identical with tracing on or off.
+	Rec *trace.Recorder
 
 	// refPool is the finite set of static global locks used for
 	// lock-based reference-count manipulation (RefLocked mode); the

@@ -67,11 +67,12 @@ type Mutex struct {
 }
 
 type mutexWaiter struct {
-	t         *Thread
-	arrival   int64
-	gap       int64
-	nextProbe int64
-	waitStart int64
+	t          *Thread
+	arrival    int64
+	gap        int64
+	nextProbe  int64
+	waitStart  int64
+	holderProc int // processor holding the lock when the wait began
 }
 
 func (m *Mutex) init() {
@@ -97,10 +98,11 @@ func (m *Mutex) Acquire(t *Thread) {
 		return
 	}
 	w := &mutexWaiter{
-		t:         t,
-		arrival:   t.Now(),
-		gap:       t.rng.Jitter(s.BackoffMin, t.eng.C.JitterFrac),
-		waitStart: t.Now(),
+		t:          t,
+		arrival:    t.Now(),
+		gap:        t.rng.Jitter(s.BackoffMin, t.eng.C.JitterFrac),
+		waitStart:  t.Now(),
+		holderProc: m.holder.Proc,
 	}
 	if w.gap < 1 {
 		w.gap = 1
@@ -113,7 +115,9 @@ func (m *Mutex) Acquire(t *Thread) {
 	}
 	t.Block("mutex " + m.Name)
 	// The releaser has made us the holder and set our wake time.
-	m.stats.WaitNs += t.Now() - w.waitStart
+	wait := t.Now() - w.waitStart
+	m.stats.WaitNs += wait
+	t.eng.Rec.LockWait(t.Proc, m.Name, w.waitStart, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -126,7 +130,9 @@ func (m *Mutex) Release(t *Thread) {
 	}
 	s := &t.eng.C.Sync
 	t.Charge(s.LockExit)
-	m.stats.HoldNs += t.Now() - m.heldSince
+	hold := t.Now() - m.heldSince
+	m.stats.HoldNs += hold
+	t.eng.Rec.LockHold(t.Proc, m.Name, m.heldSince, hold)
 	if len(m.waiters) == 0 {
 		m.held = false
 		m.holder = nil
@@ -185,8 +191,9 @@ type MCSLock struct {
 }
 
 type mcsWaiter struct {
-	t         *Thread
-	waitStart int64
+	t          *Thread
+	waitStart  int64
+	holderProc int
 }
 
 func (m *MCSLock) init() {
@@ -211,14 +218,16 @@ func (m *MCSLock) Acquire(t *Thread) {
 		t.Charge(s.LockEnter)
 		return
 	}
-	w := &mcsWaiter{t: t, waitStart: t.Now()}
+	w := &mcsWaiter{t: t, waitStart: t.Now(), holderProc: m.holder.Proc}
 	m.queue = append(m.queue, w)
 	m.stats.Contended++
 	if len(m.queue) > m.stats.MaxWaiters {
 		m.stats.MaxWaiters = len(m.queue)
 	}
 	t.Block("mcs " + m.Name)
-	m.stats.WaitNs += t.Now() - w.waitStart
+	wait := t.Now() - w.waitStart
+	m.stats.WaitNs += wait
+	t.eng.Rec.LockWait(t.Proc, m.Name, w.waitStart, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -230,7 +239,9 @@ func (m *MCSLock) Release(t *Thread) {
 	}
 	s := &t.eng.C.Sync
 	t.Charge(s.LockExit)
-	m.stats.HoldNs += t.Now() - m.heldSince
+	hold := t.Now() - m.heldSince
+	m.stats.HoldNs += hold
+	t.eng.Rec.LockHold(t.Proc, m.Name, m.heldSince, hold)
 	if len(m.queue) == 0 {
 		m.held = false
 		m.holder = nil
@@ -287,14 +298,16 @@ func (l *TicketLock) Acquire(t *Thread) {
 		t.Charge(s.LockEnter)
 		return
 	}
-	w := &mcsWaiter{t: t, waitStart: t.Now()}
+	w := &mcsWaiter{t: t, waitStart: t.Now(), holderProc: l.holder.Proc}
 	l.queue = append(l.queue, w)
 	l.stats.Contended++
 	if len(l.queue) > l.stats.MaxWaiters {
 		l.stats.MaxWaiters = len(l.queue)
 	}
 	t.Block("ticket " + l.Name)
-	l.stats.WaitNs += t.Now() - w.waitStart
+	wait := t.Now() - w.waitStart
+	l.stats.WaitNs += wait
+	t.eng.Rec.LockWait(t.Proc, l.Name, w.waitStart, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -307,7 +320,9 @@ func (l *TicketLock) Release(t *Thread) {
 	}
 	s := &t.eng.C.Sync
 	t.Charge(s.LockExit)
-	l.stats.HoldNs += t.Now() - l.heldSince
+	hold := t.Now() - l.heldSince
+	l.stats.HoldNs += hold
+	t.eng.Rec.LockHold(t.Proc, l.Name, l.heldSince, hold)
 	if len(l.queue) == 0 {
 		l.held = false
 		l.holder = nil

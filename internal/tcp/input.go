@@ -34,6 +34,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 		if sg.seq != tcb.rcvNxt {
 			tcb.oooIn++
 			p.stats.OOOSegsIn++
+			t.Engine().Rec.OutOfOrder(t.Proc, t.Now(), int64(sg.seq), int64(tcb.rcvNxt))
 		}
 	}
 	if cfg.AssumeInOrder && sg.dlen > 0 && tcb.state == stateEstablished &&
@@ -89,6 +90,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			t.ChargeRand(st.TCPAckLocked)
 			p.stats.AcksIn++
 			p.stats.Predicted++
+			t.Engine().Rec.PredictHit(t.Proc, t.Now(), int64(sg.ack))
 			tcb.processAck(t, sg)
 			tcb.notFull.Broadcast(t)
 			tcb.locks.unlockState(t)
@@ -100,6 +102,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			// Predicted in-order data.
 			t.ChargeRand(st.TCPRecvFast)
 			p.stats.Predicted++
+			t.Engine().Rec.PredictHit(t.Proc, t.Now(), int64(sg.seq))
 			tcb.rcvNxt += uint32(sg.dlen)
 			p.stats.BytesIn += int64(sg.dlen)
 			needAck, ackVal, win := tcb.ackPolicy(t)
@@ -120,6 +123,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 	}
 
 	// ---- Slow path ----
+	t.Engine().Rec.PredictMiss(t.Proc, t.Now(), int64(sg.seq))
 	t.ChargeRand(st.TCPRecvFast)
 	t.ChargeRand(st.TCPRecvSlow)
 

@@ -19,6 +19,10 @@ import (
 // Push sends application data on the connection, segmenting to the MSS
 // and blocking while the flow-control/congestion window is full.
 func (tcb *TCB) Push(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "tcp-send", start, t.Now()-start) }()
+	}
 	t.ChargeRand(t.Engine().C.Stack.TCPSendPre)
 	if m.Len() <= tcb.mss {
 		return tcb.sendSegment(t, m, FlagACK|FlagPSH)
@@ -218,6 +222,7 @@ func (tcb *TCB) retransmit(t *sim.Thread, fast bool) error {
 	} else {
 		tcb.p.stats.Rexmt++
 	}
+	t.Engine().Rec.Retransmit(t.Proc, t.Now(), int64(seqn), fast)
 	if m == nil {
 		return tcb.sendControl(t, flags, seqn, ack)
 	}

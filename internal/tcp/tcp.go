@@ -265,6 +265,10 @@ func (p *Protocol) OpenEnable(t *sim.Thread, part xkernel.Part, up xkernel.Recei
 // resolves the owning TCB and runs input processing. For Layout6 the
 // checksum happens under the header-remove lock, as in the SICS code.
 func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "tcp-recv", start, t.Now()-start) }()
+	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.TCPRecvPre)
 	h, err := m.Peek(HdrLen)

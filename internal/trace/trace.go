@@ -1,0 +1,513 @@
+// Package trace implements the packet flight recorder: per-processor
+// ring buffers of timestamped events driven by the simulator's virtual
+// clock, plus log-bucketed histograms of lock wait times, per-layer
+// residence times and end-to-end packet latency.
+//
+// The recorder is the reproduction's stand-in for the paper's Pixie
+// profiles — but where Pixie only aggregates ("90 percent of the time
+// is spent waiting to acquire the TCP connection state lock"), the
+// flight recorder keeps the timeline: which packet waited, on which
+// lock, on which processor, for how long, and who held the lock
+// meanwhile. Events can be exported as Chrome trace-event JSON
+// (Perfetto-loadable, one track per virtual processor; see chrome.go)
+// or summarized as quantiles.
+//
+// Every recording method is safe on a nil *Recorder and returns
+// immediately, so instrumented code guards with a single nil check and
+// the disabled path stays allocation-free. The simulation engine
+// serializes thread execution, so the recorder needs no internal
+// locking; the per-processor buffers exist to keep tracks separate,
+// not for concurrency.
+package trace
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// EventKind classifies flight-recorder events.
+type EventKind uint8
+
+// Event kinds. Span kinds carry a duration; instant kinds do not.
+const (
+	// EvArrive marks a packet entering the stack at the driver (span
+	// of zero length; Arg is the driver-assigned sequence/offset).
+	EvArrive EventKind = iota
+	// EvLayer is a layer residence span: Name is the layer, Dur the
+	// inclusive time from entry to exit (nested layers included).
+	EvLayer
+	// EvLockWait is a contended lock acquisition: the span runs from
+	// the start of waiting to the grant. Name is the lock.
+	EvLockWait
+	// EvLockHold is a lock hold span from grant to release. Name is
+	// the lock.
+	EvLockHold
+	// EvPredictHit marks a header-prediction fast-path hit (Arg: seq).
+	EvPredictHit
+	// EvPredictMiss marks a segment taking the slow path (Arg: seq).
+	EvPredictMiss
+	// EvOOO marks a data segment arriving out of order at TCP. Arg is
+	// the arriving sequence number, Arg2 the expected one.
+	EvOOO
+	// EvRexmt marks a retransmission (Arg: seq; Arg2: 1 for fast).
+	EvRexmt
+	// EvDeliver is the end-to-end span of a delivered packet: from its
+	// driver/application birth stamp to final consumption.
+	EvDeliver
+	// EvFault marks a fault-wire injection; Name is the fault kind.
+	EvFault
+)
+
+// String names the kind for exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvLayer:
+		return "layer"
+	case EvLockWait:
+		return "lock-wait"
+	case EvLockHold:
+		return "lock-hold"
+	case EvPredictHit:
+		return "predict-hit"
+	case EvPredictMiss:
+		return "predict-miss"
+	case EvOOO:
+		return "out-of-order"
+	case EvRexmt:
+		return "retransmit"
+	case EvDeliver:
+		return "deliver"
+	case EvFault:
+		return "fault"
+	}
+	return "invalid"
+}
+
+// Event is one flight-recorder record. TS and Dur are virtual
+// nanoseconds; Proc is the virtual processor of the recording thread.
+type Event struct {
+	TS   int64
+	Dur  int64
+	Arg  int64
+	Arg2 int64
+	Kind EventKind
+	Proc int32
+	Name string
+}
+
+// ring is one processor's fixed-capacity event buffer. When full it
+// overwrites the oldest entries (flight-recorder semantics) and counts
+// the overwritten events as dropped.
+type ring struct {
+	ev []Event
+	n  int64 // total events ever appended
+}
+
+func (r *ring) push(e Event) {
+	r.ev[r.n%int64(len(r.ev))] = e
+	r.n++
+}
+
+// events returns the buffered events in append order.
+func (r *ring) events() []Event {
+	c := int64(len(r.ev))
+	if r.n <= c {
+		return r.ev[:r.n]
+	}
+	out := make([]Event, 0, c)
+	for i := r.n - c; i < r.n; i++ {
+		out = append(out, r.ev[i%c])
+	}
+	return out
+}
+
+func (r *ring) dropped() int64 {
+	if d := r.n - int64(len(r.ev)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// DefaultDepth is the per-processor ring capacity when none is given.
+const DefaultDepth = 1 << 16
+
+// Recorder is the flight recorder. Construct with New; a nil Recorder
+// is a valid disabled recorder.
+type Recorder struct {
+	rings []ring
+
+	lockWait map[string]*Histogram // per-lock wait time
+	layer    map[string]*Histogram // per-layer residence time
+	e2e      Histogram             // end-to-end packet latency
+}
+
+// New builds a recorder with one ring per processor (procs tracks) of
+// the given per-processor capacity (DefaultDepth if depth <= 0).
+func New(procs, depth int) *Recorder {
+	if procs < 1 {
+		procs = 1
+	}
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	r := &Recorder{
+		rings:    make([]ring, procs),
+		lockWait: make(map[string]*Histogram),
+		layer:    make(map[string]*Histogram),
+	}
+	for i := range r.rings {
+		r.rings[i].ev = make([]Event, depth)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder records (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) push(proc int, e Event) {
+	if proc < 0 {
+		proc = 0
+	}
+	if proc >= len(r.rings) {
+		proc = len(r.rings) - 1
+	}
+	e.Proc = int32(proc)
+	r.rings[proc].push(e)
+}
+
+// Arrive records a packet entering the stack at the driver.
+func (r *Recorder) Arrive(proc int, ts int64, seq int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvArrive, Arg: seq})
+}
+
+// LayerSpan records an inclusive residence span in the named layer and
+// feeds the layer's residence histogram.
+func (r *Recorder) LayerSpan(proc int, name string, start, dur int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: start, Dur: dur, Kind: EvLayer, Name: name})
+	h := r.layer[name]
+	if h == nil {
+		h = &Histogram{}
+		r.layer[name] = h
+	}
+	h.Observe(dur)
+}
+
+// LockWait records a contended acquisition's wait span (start .. grant)
+// and feeds the lock's wait histogram. holder is the processor that
+// held the lock when the waiter arrived (-1 if unknown).
+func (r *Recorder) LockWait(proc int, name string, start, dur int64, holder int) {
+	if r == nil || name == "" {
+		return
+	}
+	r.push(proc, Event{TS: start, Dur: dur, Kind: EvLockWait, Name: name, Arg: int64(holder)})
+	h := r.lockWait[name]
+	if h == nil {
+		h = &Histogram{}
+		r.lockWait[name] = h
+	}
+	h.Observe(dur)
+}
+
+// LockHold records a hold span (grant .. release).
+func (r *Recorder) LockHold(proc int, name string, start, dur int64) {
+	if r == nil || name == "" {
+		return
+	}
+	r.push(proc, Event{TS: start, Dur: dur, Kind: EvLockHold, Name: name})
+}
+
+// PredictHit records a header-prediction fast-path hit.
+func (r *Recorder) PredictHit(proc int, ts int64, seq int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvPredictHit, Arg: seq})
+}
+
+// PredictMiss records a segment falling through to the slow path.
+func (r *Recorder) PredictMiss(proc int, ts int64, seq int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvPredictMiss, Arg: seq})
+}
+
+// OutOfOrder records a data segment arriving out of order at TCP.
+func (r *Recorder) OutOfOrder(proc int, ts int64, seq, expected int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvOOO, Arg: seq, Arg2: expected})
+}
+
+// Retransmit records a retransmission (fast or timeout-driven).
+func (r *Recorder) Retransmit(proc int, ts int64, seq int64, fast bool) {
+	if r == nil {
+		return
+	}
+	var f int64
+	if fast {
+		f = 1
+	}
+	r.push(proc, Event{TS: ts, Kind: EvRexmt, Arg: seq, Arg2: f})
+}
+
+// Deliver records final consumption of a packet born at virtual time
+// born (a driver or application stamp) and feeds the end-to-end
+// latency histogram. born <= 0 records nothing.
+func (r *Recorder) Deliver(proc int, ts, born int64) {
+	if r == nil || born <= 0 {
+		return
+	}
+	dur := ts - born
+	if dur < 0 {
+		dur = 0
+	}
+	r.push(proc, Event{TS: born, Dur: dur, Kind: EvDeliver})
+	r.e2e.Observe(dur)
+}
+
+// Fault records a fault-wire injection of the named kind.
+func (r *Recorder) Fault(proc int, ts int64, kind string) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvFault, Name: kind})
+}
+
+// Procs returns the number of per-processor tracks.
+func (r *Recorder) Procs() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rings)
+}
+
+// Events returns processor proc's buffered events in append order.
+func (r *Recorder) Events(proc int) []Event {
+	if r == nil || proc < 0 || proc >= len(r.rings) {
+		return nil
+	}
+	return r.rings[proc].events()
+}
+
+// Dropped returns the total events overwritten across all rings.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var d int64
+	for i := range r.rings {
+		d += r.rings[i].dropped()
+	}
+	return d
+}
+
+// WaitHistogram returns the wait-time histogram of the named lock (nil
+// if that lock never contended).
+func (r *Recorder) WaitHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lockWait[name]
+}
+
+// WaitNames returns the sorted names of locks with recorded waits.
+func (r *Recorder) WaitNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.lockWait)
+}
+
+// LayerHistogram returns the residence histogram of the named layer.
+func (r *Recorder) LayerHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.layer[name]
+}
+
+// LayerNames returns the sorted names of layers with recorded spans.
+func (r *Recorder) LayerNames() []string {
+	if r == nil {
+		return nil
+	}
+	return sortedKeys(r.layer)
+}
+
+// EndToEnd returns the end-to-end latency histogram (nil on nil).
+func (r *Recorder) EndToEnd() *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &r.e2e
+}
+
+func sortedKeys(m map[string]*Histogram) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ---- log-bucketed histogram ----
+
+// NumBuckets is the histogram bucket count: bucket 0 holds values
+// <= 0, bucket i (1 <= i < NumBuckets-1) holds [2^(i-1), 2^i), and the
+// last bucket holds everything from 2^(NumBuckets-2) up (overflow).
+const NumBuckets = 48
+
+// Histogram is a log2-bucketed histogram of non-negative int64 samples
+// (virtual nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // v in [2^(b-1), 2^b)
+	if b > NumBuckets-1 {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketBounds returns bucket i's half-open range [lo, hi). The last
+// bucket's hi is the int64 maximum.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return 0, 1
+	case i >= NumBuckets-1:
+		return 1 << (NumBuckets - 2), int64(^uint64(0) >> 1)
+	default:
+		return 1 << (i - 1), 1 << i
+	}
+}
+
+// Observe adds one sample. Negative samples count into bucket 0 as 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// BucketCount returns bucket i's sample count.
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.counts[i]
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket where the rank falls, clamped to the
+// observed [min, max] so single-sample and narrow distributions report
+// exact values. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i]
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := BucketBounds(i)
+			// Position of the rank within this bucket, interpolated.
+			// Compare in float space first: in the overflow bucket
+			// hi-lo approaches the int64 ceiling and converting the
+			// interpolated value back would wrap negative.
+			frac := float64(rank-cum) / float64(c)
+			fv := float64(lo) + frac*float64(hi-lo)
+			v := h.max
+			if fv < float64(h.max) {
+				v = int64(fv)
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+		cum += c
+	}
+	return h.max
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: n=%d sum=%d min=%d max=%d",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", h.Mean())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-42) // clamps to 0
+	if h.BucketCount(0) != 2 {
+		t.Fatalf("bucket 0 count = %d, want 2", h.BucketCount(0))
+	}
+	if h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("zero/negative samples leaked into sum/min/max: sum=%d min=%d max=%d",
+			h.Sum(), h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile(0.99) = %d, want 0", got)
+	}
+}
+
+func TestHistogramSingleSampleExact(t *testing.T) {
+	var h Histogram
+	h.Observe(12345)
+	for _, q := range []float64{0.01, 0.50, 0.90, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want exactly 12345", q, got)
+		}
+	}
+	if h.Min() != 12345 || h.Max() != 12345 || h.Mean() != 12345 {
+		t.Fatalf("single-sample stats wrong: min=%d max=%d mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := int64(math.MaxInt64)
+	h.Observe(huge)
+	h.Observe(1 << 50) // also past the last finite bucket boundary
+	if h.BucketCount(NumBuckets-1) != 2 {
+		t.Fatalf("overflow bucket count = %d, want 2", h.BucketCount(NumBuckets-1))
+	}
+	if h.Max() != huge {
+		t.Fatalf("Max = %d, want %d", h.Max(), huge)
+	}
+	// Quantiles in the overflow bucket must clamp to the observed max,
+	// not interpolate toward the int64 ceiling.
+	if got := h.Quantile(1.0); got != huge {
+		t.Fatalf("Quantile(1.0) = %d, want %d", got, huge)
+	}
+	if got := h.Quantile(0.5); got < 1<<50 || got > huge {
+		t.Fatalf("Quantile(0.5) = %d outside observed range", got)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 4096; v *= 3 {
+		for i := 0; i < 7; i++ {
+			h.Observe(v + int64(i))
+		}
+	}
+	prev := int64(-1)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %d after %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%v) = %d outside [min=%d, max=%d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	for v := int64(1); v > 0 && v < 1<<62; v *= 2 {
+		for _, s := range []int64{v, v + 1, 2*v - 1} {
+			b := bucketOf(s)
+			lo, hi := BucketBounds(b)
+			if s < lo || s >= hi {
+				t.Fatalf("sample %d landed in bucket %d [%d, %d)", s, b, lo, hi)
+			}
+		}
+	}
+	if lo, _ := BucketBounds(0); lo != 0 {
+		t.Fatalf("bucket 0 lo = %d, want 0", lo)
+	}
+}
+
+func TestRingWrapAndDropped(t *testing.T) {
+	r := New(1, 4)
+	for i := int64(0); i < 10; i++ {
+		r.Arrive(0, i, i)
+	}
+	ev := r.Events(0)
+	if len(ev) != 4 {
+		t.Fatalf("got %d buffered events, want 4", len(ev))
+	}
+	// Oldest six overwritten; survivors are 6..9 in append order.
+	for i, e := range ev {
+		if want := int64(6 + i); e.TS != want {
+			t.Fatalf("event %d has TS %d, want %d (append order lost)", i, e.TS, want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	// None of these may panic, and all accessors report empty.
+	r.Arrive(0, 1, 1)
+	r.LayerSpan(0, "ip-recv", 1, 2)
+	r.LockWait(0, "tcp-state", 1, 2, 1)
+	r.LockHold(0, "tcp-state", 1, 2)
+	r.PredictHit(0, 1, 1)
+	r.PredictMiss(0, 1, 1)
+	r.OutOfOrder(0, 1, 2, 1)
+	r.Retransmit(0, 1, 1, true)
+	r.Deliver(0, 2, 1)
+	r.Fault(0, 1, "drop")
+	if r.Enabled() {
+		t.Fatal("nil recorder claims Enabled")
+	}
+	if r.Procs() != 0 || r.Events(0) != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder reports non-empty state")
+	}
+	if r.WaitNames() != nil || r.LayerNames() != nil {
+		t.Fatal("nil recorder reports names")
+	}
+	if r.WaitHistogram("x").Count() != 0 || r.EndToEnd().Count() != 0 {
+		t.Fatal("nil recorder histogram access not empty")
+	}
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+}
+
+func TestUnnamedLocksSkipped(t *testing.T) {
+	r := New(1, 16)
+	r.LockWait(0, "", 1, 100, 2)
+	r.LockHold(0, "", 1, 100)
+	if len(r.Events(0)) != 0 {
+		t.Fatal("empty-name lock events recorded")
+	}
+	if len(r.WaitNames()) != 0 {
+		t.Fatal("empty-name lock fed a histogram")
+	}
+}
+
+func TestDeliverUnstampedSkipped(t *testing.T) {
+	r := New(1, 16)
+	r.Deliver(0, 100, 0)  // unstamped (control/ack frames)
+	r.Deliver(0, 100, -5) // never stamped
+	if r.EndToEnd().Count() != 0 || len(r.Events(0)) != 0 {
+		t.Fatal("unstamped deliveries recorded")
+	}
+	r.Deliver(0, 100, 40)
+	if r.EndToEnd().Count() != 1 || r.EndToEnd().Max() != 60 {
+		t.Fatalf("stamped delivery: n=%d max=%d, want 1/60",
+			r.EndToEnd().Count(), r.EndToEnd().Max())
+	}
+}
+
+func TestProcClamping(t *testing.T) {
+	r := New(2, 8)
+	r.Arrive(-3, 1, 0) // clamps to track 0
+	r.Arrive(99, 2, 0) // clamps to last track
+	if len(r.Events(0)) != 1 || len(r.Events(1)) != 1 {
+		t.Fatalf("proc clamping lost events: %d/%d",
+			len(r.Events(0)), len(r.Events(1)))
+	}
+}
+
+// TestChromeTraceParses round-trips the exporter output through
+// encoding/json and checks the invariants Perfetto relies on.
+func TestChromeTraceParses(t *testing.T) {
+	r := New(2, 64)
+	r.Arrive(0, 10, 1)
+	r.LayerSpan(0, "fddi-recv", 10, 500)
+	r.LockWait(1, "tcp-state", 20, 300, 0)
+	r.LockHold(1, "tcp-state", 320, 40)
+	r.PredictHit(0, 30, 7)
+	r.PredictMiss(0, 31, 8)
+	r.OutOfOrder(1, 40, 9, 8)
+	r.Retransmit(1, 50, 9, true)
+	r.Deliver(0, 700, 10)
+	r.Fault(0, 60, "drop")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("complete event without dur: %v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %v", e["ph"])
+		}
+		if e["ph"] != "M" {
+			if _, ok := e["ts"]; !ok {
+				t.Fatalf("event without ts: %v", e)
+			}
+		}
+	}
+	// 4 span records (layer, wait, hold, deliver), 6 instants, and
+	// metadata for the process plus both tracks.
+	if spans != 4 || instants != 6 || meta != 3 {
+		t.Fatalf("spans/instants/meta = %d/%d/%d, want 4/6/3", spans, instants, meta)
+	}
+}

@@ -137,6 +137,10 @@ func (s *Session) MSS() int { return s.lower.MSS() - HdrLen }
 // Push sends one datagram. Checksumming, when enabled, happens outside
 // any lock — there is nothing to lock on the UDP send path.
 func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "udp-send", start, t.Now()-start) }()
+	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.UDPSend)
 	h, err := m.Push(t, HdrLen)
@@ -172,6 +176,10 @@ func (s *Session) Close(t *sim.Thread) error {
 // Demux delivers an arriving datagram to the session bound to its port
 // pair. The map lookup is the one receive-side locking point.
 func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
+	if rec := t.Engine().Rec; rec != nil {
+		start := t.Now()
+		defer func() { rec.LayerSpan(t.Proc, "udp-recv", start, t.Now()-start) }()
+	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.UDPRecv)
 	h, err := m.Peek(HdrLen)
