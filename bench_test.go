@@ -47,6 +47,7 @@ func runSpec(b *testing.B, id string) {
 	p := benchParams()
 	var tables []measure.Table
 	var err error
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables, err = spec.Run(p)

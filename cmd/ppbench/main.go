@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/hostbench"
 )
 
 func main() {
@@ -37,8 +38,12 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot     = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
 		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
+		procs    = flag.Int("procs", 0, "host worker threads to fan simulation points across (0 = GOMAXPROCS); output is identical for every value")
 		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
 		jsonOut  = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
+		benchOut = flag.String("bench", "", "run the host wall-clock benchmark suite and write the report to FILE ('-' for stdout)")
+		baseline = flag.String("baseline", "", "with -bench: compare against this baseline report, exit non-zero if a sweep regresses")
+		ratchet  = flag.Float64("ratchet", 2.0, "with -baseline: fail when a sweep's wall time exceeds this factor times the baseline")
 	)
 	flag.Parse()
 
@@ -49,8 +54,8 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" && *jsonOut == "" {
-		fmt.Fprintln(os.Stderr, "ppbench: -experiment or -json required (or -list); try -experiment all")
+	if *exp == "" && *jsonOut == "" && *benchOut == "" {
+		fmt.Fprintln(os.Stderr, "ppbench: -experiment, -json, or -bench required (or -list); try -experiment all")
 		os.Exit(2)
 	}
 
@@ -64,6 +69,7 @@ func main() {
 	if *quick {
 		p = experiments.QuickParams()
 	}
+	p.Workers = *procs
 	if *loss != "" {
 		for _, f := range strings.Split(*loss, ",") {
 			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -72,6 +78,16 @@ func main() {
 				os.Exit(2)
 			}
 			p.LossRates = append(p.LossRates, r)
+		}
+	}
+
+	if *benchOut != "" {
+		if err := runHostBench(*benchOut, *baseline, *ratchet); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" && *jsonOut == "" {
+			return
 		}
 	}
 
@@ -120,6 +136,65 @@ func main() {
 		}
 		fmt.Printf("   (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runHostBench collects the host wall-clock benchmark report, writes it
+// to path ("-" for stdout), and optionally ratchets it against a
+// committed baseline report.
+func runHostBench(path, basePath string, factor float64) error {
+	start := time.Now()
+	report, err := hostbench.Collect()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("== host benchmarks: %d micros, %d sweeps -> %s (%s wall time)\n",
+			len(report.Micros), len(report.Sweeps), path, time.Since(start).Round(time.Millisecond))
+		for _, m := range report.Micros {
+			fmt.Printf("   %-28s %10.1f ns/op %8d B/op %6d allocs/op\n",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+		for _, s := range report.Sweeps {
+			fmt.Printf("   %-28s %10.0f ms   %8.1f points/s (workers=%d)\n",
+				s.Name, s.WallMs, s.PointsPerSec, s.Workers)
+		}
+		fmt.Println()
+	}
+	if basePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base hostbench.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	failures, warnings := hostbench.Compare(report, base, factor)
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "ppbench: warning: %s\n", w)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "ppbench: REGRESSION: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) vs %s", len(failures), basePath)
+	}
+	fmt.Printf("== ratchet: no sweep regression vs %s (factor %.1f)\n\n", basePath, factor)
+	return nil
 }
 
 // writeProfiles runs the traced profile suite and writes the records as

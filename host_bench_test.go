@@ -1,0 +1,42 @@
+// BenchmarkHost* measures the simulator's own hot paths on the host —
+// the same microbenchmark bodies `ppbench -bench` runs for the
+// BENCH_sim.json artifact, exposed to `go test -bench` so profiles
+// (-cpuprofile, -memprofile) attach to them directly.
+//
+//	go test -bench 'BenchmarkHost' -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/hostbench"
+)
+
+func hostMicro(b *testing.B, name string) {
+	b.Helper()
+	for _, m := range hostbench.MicroBenchmarks() {
+		if m.Name == name {
+			m.Fn(b)
+			return
+		}
+	}
+	b.Fatalf("unknown hostbench micro %q", name)
+}
+
+// The scheduling fast path: a thread rescheduling itself.
+func BenchmarkHostEngineHandoff(b *testing.B) { hostMicro(b, "engine-handoff") }
+
+// A genuine parked-goroutine handoff on every scheduling decision.
+func BenchmarkHostEngineHandoffPingPong(b *testing.B) { hostMicro(b, "engine-handoff-pingpong") }
+
+// Thread spawn/teardown with pooled structs and worker goroutines.
+func BenchmarkHostEngineSpawn(b *testing.B) { hostMicro(b, "engine-spawn") }
+
+// The truncated-run lifecycle: RunUntil a limit, then Drain.
+func BenchmarkHostEngineRunUntilDrain(b *testing.B) { hostMicro(b, "engine-rununtil-drain") }
+
+// Message view alloc/free through the per-processor free lists.
+func BenchmarkHostMsgAllocFree(b *testing.B) { hostMicro(b, "msg-alloc-free") }
+
+// Message clone/free (refcounted view sharing).
+func BenchmarkHostMsgCloneFree(b *testing.B) { hostMicro(b, "msg-clone-free") }

@@ -654,26 +654,40 @@ func (s *Stack) stateLockWait() int64 {
 	return w
 }
 
-// Measure builds and runs the configuration `runs` times with distinct
-// seeds; it summarizes throughput and averages the ordering and lock
-// measurements across runs.
-func Measure(cfg Config, warmupNs, measureNs int64, runs int) (measure.Result, RunResult, error) {
+// RunConfigs derives the per-run configurations Measure executes: one
+// copy of cfg per run, each with the run's distinct seed.
+func RunConfigs(cfg Config, runs int) []Config {
 	if runs <= 0 {
 		runs = 1
 	}
-	var samples []float64
-	var agg RunResult
-	for r := 0; r < runs; r++ {
+	out := make([]Config, runs)
+	for r := range out {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(r)*7919
-		st, err := Build(c)
-		if err != nil {
-			return measure.Result{}, RunResult{}, err
-		}
-		res, err := st.Run(warmupNs, measureNs)
-		if err != nil {
-			return measure.Result{}, RunResult{}, err
-		}
+		out[r] = c
+	}
+	return out
+}
+
+// RunPoint builds and runs one configuration once. Each call owns a
+// fresh engine and touches no shared state, so independent points may
+// execute on concurrent host threads.
+func RunPoint(cfg Config, warmupNs, measureNs int64) (RunResult, error) {
+	st, err := Build(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return st.Run(warmupNs, measureNs)
+}
+
+// AggregateRuns summarizes per-run results exactly as Measure does:
+// accumulation happens in run order, so a parallel caller that
+// collects results into run-indexed slots reproduces the sequential
+// output bit for bit.
+func AggregateRuns(rrs []RunResult) (measure.Result, RunResult) {
+	var samples []float64
+	var agg RunResult
+	for _, res := range rrs {
 		samples = append(samples, res.Mbps)
 		agg.Mbps += res.Mbps
 		agg.OOOPct += res.OOOPct
@@ -681,10 +695,27 @@ func Measure(cfg Config, warmupNs, measureNs int64, runs int) (measure.Result, R
 		agg.LockWaitFrac += res.LockWaitFrac
 		agg.Packets += res.Packets
 	}
-	n := float64(runs)
+	n := float64(len(rrs))
 	agg.Mbps /= n
 	agg.OOOPct /= n
 	agg.WireOOOPct /= n
 	agg.LockWaitFrac /= n
-	return measure.Summarize(samples), agg, nil
+	return measure.Summarize(samples), agg
+}
+
+// Measure builds and runs the configuration `runs` times with distinct
+// seeds; it summarizes throughput and averages the ordering and lock
+// measurements across runs.
+func Measure(cfg Config, warmupNs, measureNs int64, runs int) (measure.Result, RunResult, error) {
+	cfgs := RunConfigs(cfg, runs)
+	rrs := make([]RunResult, len(cfgs))
+	for r, c := range cfgs {
+		res, err := RunPoint(c, warmupNs, measureNs)
+		if err != nil {
+			return measure.Result{}, RunResult{}, err
+		}
+		rrs[r] = res
+	}
+	sum, agg := AggregateRuns(rrs)
+	return sum, agg, nil
 }

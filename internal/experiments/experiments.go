@@ -27,6 +27,10 @@ type Params struct {
 	// LossRates overrides the ext-loss ladder (default {0, 0.001,
 	// 0.01, 0.05}); other experiments ignore it.
 	LossRates []float64
+	// Workers bounds the host OS threads the runner fans independent
+	// simulation points across (0 means GOMAXPROCS). Results are
+	// byte-identical for every value — see pool.go.
+	Workers int
 }
 
 // DefaultParams is the standard scaled-down methodology.
@@ -61,31 +65,18 @@ type Spec struct {
 
 // point runs one configuration, returning the throughput summary.
 func point(cfg core.Config, p Params) (measure.Result, core.RunResult, error) {
-	return core.Measure(cfg, p.WarmupNs, p.MeasureNs, p.Runs)
+	pv, err := submitPoint(cfg, p).wait()
+	return pv.res, pv.agg, err
 }
 
-// sweepProcs measures cfg at 1..maxProcs processors.
+// sweepProcs measures cfg at 1..maxProcs processors, fanning the
+// points across the worker pool.
 func sweepProcs(cfg core.Config, p Params, maxProcs int) (measure.Series, error) {
-	var s measure.Series
-	for n := 1; n <= maxProcs; n++ {
-		c := cfg
-		c.Procs = n
-		c.Seed = p.Seed
-		if c.Connections > 1 {
-			c.Connections = n // one connection per processor
-		}
-		r, _, err := point(c, p)
-		if err != nil {
-			return s, err
-		}
-		s.X = append(s.X, n)
-		s.Points = append(s.Points, r)
-	}
-	return s, nil
+	return awaitSeries("", submitSweep(cfg, p, maxProcs))
 }
 
 // fourCurves runs the paper's standard curve family: {4K,1K} packets x
-// checksum {off,on}.
+// checksum {off,on}. All four sweeps are in flight at once.
 func fourCurves(base core.Config, p Params) ([]measure.Series, error) {
 	type variant struct {
 		label string
@@ -98,19 +89,16 @@ func fourCurves(base core.Config, p Params) ([]measure.Series, error) {
 		{"1K Byte Packets, Checksum Off", 1024, false},
 		{"1K Byte Packets, Checksum On", 1024, true},
 	}
-	var out []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, v := range variants {
 		cfg := base
 		cfg.PacketSize = v.size
 		cfg.Checksum = v.ck
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = v.label
-		out = append(out, s)
+		labels = append(labels, v.label)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
 	}
-	return out, nil
+	return awaitAll(labels, futs)
 }
 
 // throughputAndSpeedup renders the two standard tables from one sweep.
@@ -372,32 +360,21 @@ func runFig10(p Params) ([]measure.Table, error) {
 	base := baselineTCP(core.SideRecv)
 	base.PacketSize = 4096
 	base.Checksum = true
-	var series []measure.Series
 
 	inOrder := base
 	inOrder.AssumeInOrder = true
-	s, err := sweepProcs(inOrder, p, p.MaxProcs)
-	if err != nil {
-		return nil, err
-	}
-	s.Label = "TCP-1 Assumed In-Order"
-	series = append(series, s)
-
 	mcs := base
 	mcs.LockKind = sim.KindMCS
-	s, err = sweepProcs(mcs, p, p.MaxProcs)
+	series, err := awaitAll(
+		[]string{"TCP-1 Assumed In-Order", "TCP-1 MCS Locks", "TCP-1 Mutex Locks"},
+		[][]*pointFuture{
+			submitSweep(inOrder, p, p.MaxProcs),
+			submitSweep(mcs, p, p.MaxProcs),
+			submitSweep(base, p, p.MaxProcs),
+		})
 	if err != nil {
 		return nil, err
 	}
-	s.Label = "TCP-1 MCS Locks"
-	series = append(series, s)
-
-	s, err = sweepProcs(base, p, p.MaxProcs)
-	if err != nil {
-		return nil, err
-	}
-	s.Label = "TCP-1 Mutex Locks"
-	series = append(series, s)
 
 	return []measure.Table{{
 		Title:  "Figure 10: Ordering Effects in TCP (recv, 4KB, checksum on)",
@@ -409,28 +386,20 @@ func runTable1(p Params) ([]measure.Table, error) {
 	base := baselineTCP(core.SideRecv)
 	base.PacketSize = 4096
 	base.Checksum = true
-	var mu, mc measure.Series
-	mu.Label = "Mutex Locks (% OOO)"
-	mc.Label = "MCS Locks (% OOO)"
-	for n := 1; n <= p.MaxProcs; n++ {
-		for _, kind := range []sim.LockKind{sim.KindMutex, sim.KindMCS} {
-			cfg := base
-			cfg.Procs = n
-			cfg.LockKind = kind
-			cfg.Seed = p.Seed
-			_, agg, err := point(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			r := measure.Result{Mean: agg.OOOPct}
-			if kind == sim.KindMutex {
-				mu.X = append(mu.X, n)
-				mu.Points = append(mu.Points, r)
-			} else {
-				mc.X = append(mc.X, n)
-				mc.Points = append(mc.Points, r)
-			}
-		}
+	muCfg := base
+	muCfg.LockKind = sim.KindMutex
+	mcCfg := base
+	mcCfg.LockKind = sim.KindMCS
+	muFuts := submitSweep(muCfg, p, p.MaxProcs)
+	mcFuts := submitSweep(mcCfg, p, p.MaxProcs)
+	oooPct := func(agg core.RunResult) float64 { return agg.OOOPct }
+	mu, err := awaitAggSeries("Mutex Locks (% OOO)", muFuts, oooPct)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := awaitAggSeries("MCS Locks (% OOO)", mcFuts, oooPct)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Table 1: Percentage of packets out-of-order at TCP (recv, 4KB, checksum on)",
@@ -443,7 +412,8 @@ func runFig11(p Params) ([]measure.Table, error) {
 	base := baselineTCP(core.SideRecv)
 	base.PacketSize = 4096
 	base.LockKind = sim.KindMCS
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, v := range []struct {
 		label  string
 		ck     bool
@@ -457,12 +427,12 @@ func runFig11(p Params) ([]measure.Table, error) {
 		cfg := base
 		cfg.Checksum = v.ck
 		cfg.Ticketing = v.ticket
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = v.label
-		series = append(series, s)
+		labels = append(labels, v.label)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Figure 11: Ticketing Effects in TCP (recv, 4KB)",
@@ -471,7 +441,8 @@ func runFig11(p Params) ([]measure.Table, error) {
 }
 
 func runFig12(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, v := range []struct {
 		label string
 		side  core.Side
@@ -486,13 +457,13 @@ func runFig12(p Params) ([]measure.Table, error) {
 		cfg.PacketSize = 4096
 		cfg.Checksum = v.ck
 		cfg.LockKind = sim.KindMCS
-		cfg.Connections = 2 // sentinel: sweepProcs sets Connections = procs
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = v.label
-		series = append(series, s)
+		cfg.Connections = 2 // sentinel: submitSweep sets Connections = procs
+		labels = append(labels, v.label)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Figure 12: TCP with Multiple Connections (one per processor, MCS, 4KB)",
@@ -501,7 +472,8 @@ func runFig12(p Params) ([]measure.Table, error) {
 }
 
 func runLockingComparison(p Params, side core.Side, title string) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, lay := range []tcp.Layout{tcp.Layout1, tcp.Layout2, tcp.Layout6} {
 		for _, size := range []int{4096, 1024} {
 			cfg := baselineTCP(side)
@@ -509,19 +481,20 @@ func runLockingComparison(p Params, side core.Side, title string) ([]measure.Tab
 			cfg.Checksum = true
 			cfg.Layout = lay
 			cfg.LockKind = sim.KindMCS
-			s, err := sweepProcs(cfg, p, p.MaxProcs)
-			if err != nil {
-				return nil, err
-			}
-			s.Label = fmt.Sprintf("%v %dKB Packets", lay, size/1024)
-			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("%v %dKB Packets", lay, size/1024))
+			futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
 		}
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{Title: title, XLabel: "procs", Series: series}}, nil
 }
 
 func runFig15(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, v := range []struct {
 		label string
 		side  core.Side
@@ -536,12 +509,12 @@ func runFig15(p Params) ([]measure.Table, error) {
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.RefMode = v.mode
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = v.label
-		series = append(series, s)
+		labels = append(labels, v.label)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Figure 15: TCP Atomic Operations Impact (4KB, checksum on)",
@@ -550,7 +523,8 @@ func runFig15(p Params) ([]measure.Table, error) {
 }
 
 func runFig16(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, v := range []struct {
 		label string
 		side  core.Side
@@ -565,12 +539,12 @@ func runFig16(p Params) ([]measure.Table, error) {
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.MsgCache = v.cache
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = v.label
-		series = append(series, s)
+		labels = append(labels, v.label)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Figure 16: TCP Message Caching Impact (4KB, checksum on)",
@@ -579,7 +553,8 @@ func runFig16(p Params) ([]measure.Table, error) {
 }
 
 func runFig17(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, m := range cost.Machines {
 		maxP := p.MaxProcs
 		if m.SyncBus && maxP > 4 {
@@ -590,17 +565,17 @@ func runFig17(p Params) ([]measure.Table, error) {
 			cfg.PacketSize = 4096
 			cfg.Checksum = ck
 			cfg.Machine = m
-			s, err := sweepProcs(cfg, p, maxP)
-			if err != nil {
-				return nil, err
-			}
 			lbl := "Checksum Off"
 			if ck {
 				lbl = "Checksum On"
 			}
-			s.Label = fmt.Sprintf("%s, %s", m.Name, lbl)
-			series = append(series, s)
+			labels = append(labels, fmt.Sprintf("%s, %s", m.Name, lbl))
+			futs = append(futs, submitSweep(cfg, p, maxP))
 		}
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{
 		{Title: "Figure 17: TCP Throughputs across Architectures (recv, 4KB)",
@@ -611,22 +586,23 @@ func runFig17(p Params) ([]measure.Table, error) {
 }
 
 func runWiring(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, wired := range []bool{true, false} {
 		cfg := baselineUDP(core.SideSend)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.Wired = wired
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
 		if wired {
-			s.Label = "Threads Wired to Processors"
+			labels = append(labels, "Threads Wired to Processors")
 		} else {
-			s.Label = "Threads Unwired"
+			labels = append(labels, "Threads Unwired")
 		}
-		series = append(series, s)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Section 3: Wired vs Unwired Threads (UDP send, 4KB, checksum on)",
@@ -635,22 +611,23 @@ func runWiring(p Params) ([]measure.Table, error) {
 }
 
 func runMapLock(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, locked := range []bool{true, false} {
 		cfg := baselineUDP(core.SideRecv)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.MapLocking = locked
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
 		if locked {
-			s.Label = "Maps Locked"
+			labels = append(labels, "Maps Locked")
 		} else {
-			s.Label = "Maps Not Locked"
+			labels = append(labels, "Maps Not Locked")
 		}
-		series = append(series, s)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Section 3.1: Demultiplexing With vs Without Map Locks (UDP recv, 4KB)",
@@ -662,18 +639,11 @@ func runWireOrder(p Params) ([]measure.Table, error) {
 	cfg := baselineTCP(core.SideSend)
 	cfg.PacketSize = 4096
 	cfg.Checksum = true
-	var s measure.Series
-	s.Label = "% misordered on the wire"
-	for n := 1; n <= p.MaxProcs; n++ {
-		c := cfg
-		c.Procs = n
-		c.Seed = p.Seed
-		_, agg, err := point(c, p)
-		if err != nil {
-			return nil, err
-		}
-		s.X = append(s.X, n)
-		s.Points = append(s.Points, measure.Result{Mean: agg.WireOOOPct})
+	s, err := awaitAggSeries("% misordered on the wire",
+		submitSweep(cfg, p, p.MaxProcs),
+		func(agg core.RunResult) float64 { return agg.WireOOOPct })
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Section 4.1: Send-side misordering below TCP (4KB, checksum on)",
@@ -687,11 +657,20 @@ func runChecksumMicro(p Params) ([]measure.Table, error) {
 	// running concurrent checksum loops on the engine and reporting
 	// per-processor MB/s, as Section 3.2 does (32 MB/s per CPU, an
 	// implied bus capacity of ~38 checksumming processors).
+	slots := workerSlots(p.workers())
+	futs := make([]*future[float64], p.MaxProcs)
+	for n := 1; n <= p.MaxProcs; n++ {
+		n := n
+		futs[n-1] = submit(slots, func() (float64, error) {
+			return checksumBandwidth(n, p)
+		})
+	}
 	var agg, per measure.Series
 	agg.Label = "Aggregate MB/s"
 	per.Label = "Per-CPU MB/s"
-	for n := 1; n <= p.MaxProcs; n++ {
-		mbps, err := checksumBandwidth(n, p)
+	for i, f := range futs {
+		n := i + 1
+		mbps, err := f.wait()
 		if err != nil {
 			return nil, err
 		}
@@ -707,18 +686,19 @@ func runChecksumMicro(p Params) ([]measure.Table, error) {
 }
 
 func runAblationFIFO(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, kind := range []sim.LockKind{sim.KindMCS, sim.KindTicket} {
 		cfg := baselineTCP(core.SideRecv)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.LockKind = kind
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = kind.String() + " lock"
-		series = append(series, s)
+		labels = append(labels, kind.String()+" lock")
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Ablation: FIFO lock kind, MCS vs ticket (TCP recv, 4KB, checksum on)",
@@ -727,22 +707,23 @@ func runAblationFIFO(p Params) ([]measure.Table, error) {
 }
 
 func runAblationMapCache(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, cache := range []bool{true, false} {
 		cfg := baselineUDP(core.SideRecv)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.MapCache = cache
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
 		if cache {
-			s.Label = "1-behind cache on"
+			labels = append(labels, "1-behind cache on")
 		} else {
-			s.Label = "1-behind cache off"
+			labels = append(labels, "1-behind cache off")
 		}
-		series = append(series, s)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Ablation: map manager 1-behind cache (UDP recv, 4KB)",
@@ -751,18 +732,19 @@ func runAblationMapCache(p Params) ([]measure.Table, error) {
 }
 
 func runAblationAckRate(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, every := range []int{2, 1} {
 		cfg := baselineTCP(core.SideSend)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.AckEvery = every
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = fmt.Sprintf("ack every %d packets", every)
-		series = append(series, s)
+		labels = append(labels, fmt.Sprintf("ack every %d packets", every))
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Ablation: simulated receiver ack rate (TCP send, 4KB, checksum on)",
@@ -771,23 +753,24 @@ func runAblationAckRate(p Params) ([]measure.Table, error) {
 }
 
 func runAblationHeaderPred(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, off := range []bool{false, true} {
 		cfg := baselineTCP(core.SideRecv)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.LockKind = sim.KindMCS // keep arrivals in order
 		cfg.NoHeaderPrediction = off
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
 		if off {
-			s.Label = "header prediction off"
+			labels = append(labels, "header prediction off")
 		} else {
-			s.Label = "header prediction on"
+			labels = append(labels, "header prediction on")
 		}
-		series = append(series, s)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Ablation: header prediction (TCP recv, 4KB, checksum on, MCS)",
@@ -796,22 +779,23 @@ func runAblationHeaderPred(p Params) ([]measure.Table, error) {
 }
 
 func runAblationWheel(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, perChain := range []bool{true, false} {
 		cfg := baselineTCP(core.SideSend)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.WheelPerChain = perChain
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
 		if perChain {
-			s.Label = "per-chain wheel locks"
+			labels = append(labels, "per-chain wheel locks")
 		} else {
-			s.Label = "single wheel lock"
+			labels = append(labels, "single wheel lock")
 		}
-		series = append(series, s)
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Ablation: timing wheel locking (TCP send, 4KB, checksum on)",
@@ -825,20 +809,21 @@ func runAblationWheel(p Params) ([]measure.Table, error) {
 // the multi-connection win — quantifying how 'idealized' the uniform
 // test is (Section 4.3).
 func runExtSkew(p Params) ([]measure.Table, error) {
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, skew := range []int{0, 25, 50} {
 		cfg := baselineTCP(core.SideSend)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.LockKind = sim.KindMCS
-		cfg.Connections = 2 // sentinel: sweepProcs sets Connections = procs
+		cfg.Connections = 2 // sentinel: submitSweep sets Connections = procs
 		cfg.HotConnPct = skew
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = fmt.Sprintf("%d%% of traffic to one connection", skew)
-		series = append(series, s)
+		labels = append(labels, fmt.Sprintf("%d%% of traffic to one connection", skew))
+		futs = append(futs, submitSweep(cfg, p, p.MaxProcs))
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Extension: multi-connection TCP send under skewed traffic (4KB, checksum on)",
@@ -857,12 +842,15 @@ func runExtSkew(p Params) ([]measure.Table, error) {
 // is the future work named in Section 8.
 func runExtStrategies(p Params) ([]measure.Table, error) {
 	const conns = 4
-	var series []measure.Series
+	var labels []string
+	var futs [][]*pointFuture
 	for _, strat := range []core.Strategy{
 		core.StrategyPacket, core.StrategyConnection, core.StrategyLayered,
 	} {
-		var s measure.Series
-		s.Label = strat.String()
+		// Connections stays fixed at 4 across the sweep, so the points
+		// are submitted individually rather than through submitSweep
+		// (whose Connections-follow-procs rule would override it).
+		fs := make([]*pointFuture, 0, p.MaxProcs)
 		for n := 1; n <= p.MaxProcs; n++ {
 			cfg := baselineTCP(core.SideRecv)
 			cfg.PacketSize = 4096
@@ -872,14 +860,14 @@ func runExtStrategies(p Params) ([]measure.Table, error) {
 			cfg.Strategy = strat
 			cfg.Procs = n
 			cfg.Seed = p.Seed
-			r, _, err := point(cfg, p)
-			if err != nil {
-				return nil, err
-			}
-			s.X = append(s.X, n)
-			s.Points = append(s.Points, r)
+			fs = append(fs, submitPoint(cfg, p))
 		}
-		series = append(series, s)
+		labels = append(labels, strat.String())
+		futs = append(futs, fs)
+	}
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
 	}
 	return []measure.Table{{
 		Title:  "Extension: parallelization strategies compared (TCP recv, 4 connections, 4KB, checksum on)",

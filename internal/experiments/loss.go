@@ -74,39 +74,44 @@ func runExtLoss(p Params) ([]measure.Table, error) {
 		{"spin", sim.KindMutex},
 		{"MCS", sim.KindMCS},
 	}
-	var recvSeries, sendSeries []measure.Series
+	var recvLabels, sendLabels []string
+	var recvFuts, sendFuts [][]*pointFuture
 	for _, rate := range lossLadder(p) {
 		for _, k := range kinds {
-			s, err := sweepProcs(lossyTCP(core.SideRecv, k.kind, rate), p, p.MaxProcs)
-			if err != nil {
-				return nil, err
-			}
-			s.Label = fmt.Sprintf("%s, %.1f%% loss", k.name, 100*rate)
-			recvSeries = append(recvSeries, s)
-
-			s, err = sweepProcs(lossyTCP(core.SideSend, k.kind, rate), sendLossParams(p), p.MaxProcs)
-			if err != nil {
-				return nil, err
-			}
-			s.Label = fmt.Sprintf("%s, %.1f%% loss", k.name, 100*rate)
-			sendSeries = append(sendSeries, s)
+			lbl := fmt.Sprintf("%s, %.1f%% loss", k.name, 100*rate)
+			recvLabels = append(recvLabels, lbl)
+			recvFuts = append(recvFuts,
+				submitSweep(lossyTCP(core.SideRecv, k.kind, rate), p, p.MaxProcs))
+			sendLabels = append(sendLabels, lbl)
+			sendFuts = append(sendFuts,
+				submitSweep(lossyTCP(core.SideSend, k.kind, rate), sendLossParams(p), p.MaxProcs))
 		}
 	}
 
 	// UDP has no recovery: loss subtracts throughput linearly, a
 	// baseline showing what of TCP's degradation is recovery overhead.
-	var udpSeries []measure.Series
+	var udpLabels []string
+	var udpFuts [][]*pointFuture
 	for _, rate := range []float64{0, 0.01} {
 		cfg := baselineUDP(core.SideRecv)
 		cfg.PacketSize = 4096
 		cfg.Checksum = true
 		cfg.Faults.Up = driver.FaultRates{Drop: rate}
-		s, err := sweepProcs(cfg, p, p.MaxProcs)
-		if err != nil {
-			return nil, err
-		}
-		s.Label = fmt.Sprintf("UDP recv, %.1f%% loss", 100*rate)
-		udpSeries = append(udpSeries, s)
+		udpLabels = append(udpLabels, fmt.Sprintf("UDP recv, %.1f%% loss", 100*rate))
+		udpFuts = append(udpFuts, submitSweep(cfg, p, p.MaxProcs))
+	}
+
+	recvSeries, err := awaitAll(recvLabels, recvFuts)
+	if err != nil {
+		return nil, err
+	}
+	sendSeries, err := awaitAll(sendLabels, sendFuts)
+	if err != nil {
+		return nil, err
+	}
+	udpSeries, err := awaitAll(udpLabels, udpFuts)
+	if err != nil {
+		return nil, err
 	}
 
 	return []measure.Table{

@@ -62,19 +62,33 @@ func profileRuns(p Params) []ProfileRun {
 
 // ProfileSuite runs the fixed suite once per entry (single run each —
 // the profiles are distributions over packets, not over runs) and
-// returns the machine-readable records.
+// returns the machine-readable records. Entries fan across the worker
+// pool; the records return in suite order regardless of Workers.
 func ProfileSuite(p Params) ([]core.ProfileJSON, error) {
-	var out []core.ProfileJSON
-	for _, r := range profileRuns(p) {
-		st, err := core.Build(r.Cfg)
+	slots := workerSlots(p.workers())
+	runs := profileRuns(p)
+	futs := make([]*future[core.ProfileJSON], len(runs))
+	for i, r := range runs {
+		r := r
+		futs[i] = submit(slots, func() (core.ProfileJSON, error) {
+			st, err := core.Build(r.Cfg)
+			if err != nil {
+				return core.ProfileJSON{}, fmt.Errorf("profile %s: %w", r.Label, err)
+			}
+			res, err := st.Run(p.WarmupNs, p.MeasureNs)
+			if err != nil {
+				return core.ProfileJSON{}, fmt.Errorf("profile %s: %w", r.Label, err)
+			}
+			return st.Profile(r.Label, res), nil
+		})
+	}
+	out := make([]core.ProfileJSON, len(futs))
+	for i, f := range futs {
+		pj, err := f.wait()
 		if err != nil {
-			return nil, fmt.Errorf("profile %s: %w", r.Label, err)
+			return nil, err
 		}
-		res, err := st.Run(p.WarmupNs, p.MeasureNs)
-		if err != nil {
-			return nil, fmt.Errorf("profile %s: %w", r.Label, err)
-		}
-		out = append(out, st.Profile(r.Label, res))
+		out[i] = pj
 	}
 	return out, nil
 }

@@ -1,0 +1,304 @@
+// Package hostbench measures how fast the simulator itself runs on the
+// host — wall-clock nanoseconds and heap allocations, not virtual time.
+// It produces the machine-readable BENCH_sim.json artifact that every
+// performance PR compares before/after, and the ratchet that CI applies
+// against the committed baseline.
+//
+// Two kinds of entries:
+//
+//   - Micros: testing.Benchmark-driven microbenchmarks of the engine
+//     hot paths (scheduling handoff, thread spawn/teardown, message
+//     alloc/free and clone/free). These are advisory in the ratchet —
+//     they localize a regression but don't fail CI, because sub-100ns
+//     numbers are too noisy across runner generations.
+//   - Sweeps: a fixed experiment workload matrix timed end to end at
+//     Workers=1 and Workers=GOMAXPROCS, reported as points-per-second.
+//     Sweep wall time is what the ratchet enforces.
+package hostbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Schema identifies the report format.
+const Schema = "parnet-hostbench/v1"
+
+// Micro is one microbenchmark measurement.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+// Sweep is one timed experiment-matrix run.
+type Sweep struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"` // 0 means GOMAXPROCS
+	Points       int     `json:"points"`
+	WallMs       float64 `json:"wall_ms"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// Report is the BENCH_sim.json payload.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Micros     []Micro `json:"micros"`
+	Sweeps     []Sweep `json:"sweeps"`
+}
+
+// MicroSpec names one registered microbenchmark body.
+type MicroSpec struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// MicroBenchmarks returns the registered microbenchmark bodies, for use
+// both here (via testing.Benchmark) and from the BenchmarkHost* suite.
+func MicroBenchmarks() []MicroSpec {
+	return []MicroSpec{
+		{"engine-handoff", benchEngineHandoff},
+		{"engine-handoff-pingpong", benchEngineHandoffPingPong},
+		{"engine-spawn", benchEngineSpawn},
+		{"engine-rununtil-drain", benchRunUntilDrain},
+		{"msg-alloc-free", benchMsgAllocFree},
+		{"msg-clone-free", benchMsgCloneFree},
+	}
+}
+
+// benchEngineHandoff: one thread rescheduling itself — the fast path
+// where the minimum-clock thread is the one already running.
+func benchEngineHandoff(b *testing.B) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Charge(10)
+			th.Sync()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchEngineHandoffPingPong: two threads in lockstep, so every
+// scheduling decision parks one goroutine and resumes the other.
+func benchEngineHandoffPingPong(b *testing.B) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	per := b.N/2 + 1
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, func(th *sim.Thread) {
+			for j := 0; j < per; j++ {
+				th.Charge(10)
+				th.Sync()
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchEngineSpawn: a chain of one-shot threads, each spawning its
+// successor — after the first link every Spawn reuses a pooled struct
+// and parked goroutine.
+func benchEngineSpawn(b *testing.B) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	var chain func(i int) func(*sim.Thread)
+	chain = func(i int) func(*sim.Thread) {
+		return func(th *sim.Thread) {
+			if i < b.N {
+				e.Spawn("t", 0, chain(i+1))
+			}
+		}
+	}
+	e.Spawn("t", 0, chain(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchRunUntilDrain: the truncated-run lifecycle — spawn, run to a
+// virtual-time limit, drain the parked threads.
+func benchRunUntilDrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(cost.NewModel(cost.Challenge100), 1)
+		for p := 0; p < 4; p++ {
+			e.Spawn(fmt.Sprintf("t%d", p), p, func(th *sim.Thread) {
+				for {
+					th.Charge(100)
+					th.Sync()
+				}
+			})
+		}
+		e.RunUntil(10_000)
+		e.Drain()
+	}
+}
+
+func benchMsgAllocFree(b *testing.B) {
+	a := msg.NewAllocator(msg.DefaultConfig(4))
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			m, err := a.New(th, 4096, msg.Headroom)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			m.Free(th)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+func benchMsgCloneFree(b *testing.B) {
+	a := msg.NewAllocator(msg.DefaultConfig(4))
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("t", 0, func(th *sim.Thread) {
+		m, _ := a.New(th, 4096, msg.Headroom)
+		for i := 0; i < b.N; i++ {
+			c := m.Clone(th)
+			c.Free(th)
+		}
+		m.Free(th)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// sweepMatrix is the fixed workload the sweeps time: the paper's two
+// central single-connection cases (UDP send, TCP receive; 4 KB packets,
+// checksum on) at 1..4 processors, one run per point, short virtual
+// intervals. 8 simulation points total.
+func sweepMatrix() []core.Config {
+	var cfgs []core.Config
+	for _, proto := range []core.Proto{core.ProtoUDP, core.ProtoTCP} {
+		for procs := 1; procs <= 4; procs++ {
+			cfg := core.DefaultConfig()
+			cfg.Proto = proto
+			if proto == core.ProtoTCP {
+				cfg.Side = core.SideRecv
+			}
+			cfg.Procs = procs
+			cfg.Seed = 1994
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+const (
+	sweepWarmupNs  = 100_000_000
+	sweepMeasureNs = 200_000_000
+)
+
+// runSweep times the fixed matrix once at the given worker count.
+func runSweep(name string, workers int) (Sweep, error) {
+	cfgs := sweepMatrix()
+	start := time.Now()
+	_, _, err := experiments.RunPoints(cfgs, sweepWarmupNs, sweepMeasureNs, 1, workers)
+	if err != nil {
+		return Sweep{}, err
+	}
+	wall := time.Since(start)
+	return Sweep{
+		Name:         name,
+		Workers:      workers,
+		Points:       len(cfgs),
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		PointsPerSec: float64(len(cfgs)) / wall.Seconds(),
+	}, nil
+}
+
+// Collect runs every micro and sweep and assembles the report.
+func Collect() (Report, error) {
+	r := Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, m := range MicroBenchmarks() {
+		res := testing.Benchmark(m.Fn)
+		r.Micros = append(r.Micros, Micro{
+			Name:        m.Name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			Ops:         res.N,
+		})
+	}
+	for _, s := range []struct {
+		name    string
+		workers int
+	}{
+		{"quick-matrix-seq", 1},
+		{"quick-matrix-par", 0},
+	} {
+		sw, err := runSweep(s.name, s.workers)
+		if err != nil {
+			return r, err
+		}
+		r.Sweeps = append(r.Sweeps, sw)
+	}
+	return r, nil
+}
+
+// Compare ratchets cur against base: any sweep slower than factor times
+// its baseline wall time is a failure. Micro deltas are advisory and
+// come back as warnings (they localize regressions but are too noisy
+// across machines to gate on).
+func Compare(cur, base Report, factor float64) (failures, warnings []string) {
+	baseSweeps := map[string]Sweep{}
+	for _, s := range base.Sweeps {
+		baseSweeps[s.Name] = s
+	}
+	for _, s := range cur.Sweeps {
+		b, ok := baseSweeps[s.Name]
+		if !ok || b.WallMs <= 0 {
+			continue
+		}
+		if s.WallMs > factor*b.WallMs {
+			failures = append(failures, fmt.Sprintf(
+				"sweep %s: %.0f ms vs baseline %.0f ms (> %.1fx)",
+				s.Name, s.WallMs, b.WallMs, factor))
+		}
+	}
+	baseMicros := map[string]Micro{}
+	for _, m := range base.Micros {
+		baseMicros[m.Name] = m
+	}
+	for _, m := range cur.Micros {
+		b, ok := baseMicros[m.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if m.NsPerOp > factor*b.NsPerOp {
+			warnings = append(warnings, fmt.Sprintf(
+				"micro %s: %.1f ns/op vs baseline %.1f ns/op (> %.1fx)",
+				m.Name, m.NsPerOp, b.NsPerOp, factor))
+		}
+		if m.AllocsPerOp > b.AllocsPerOp {
+			warnings = append(warnings, fmt.Sprintf(
+				"micro %s: %d allocs/op vs baseline %d",
+				m.Name, m.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return failures, warnings
+}

@@ -22,6 +22,7 @@ func benchAlloc(b *testing.B, cache bool, size int) {
 			m.Free(th)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -46,6 +47,7 @@ func BenchmarkPushPop(b *testing.B) {
 		}
 		m.Free(th)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -61,6 +63,7 @@ func BenchmarkCloneFree(b *testing.B) {
 		}
 		m.Free(th)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }

@@ -70,10 +70,19 @@ type Stats struct {
 	Frees       int64
 }
 
+// viewCacheDepth bounds each per-processor free list of Message view
+// structs; overflow is dropped to the garbage collector.
+const viewCacheDepth = 512
+
 type procCache struct {
 	free  [len(classes)]*MNode
 	count [len(classes)]int
-	_pad  [32]byte // keep per-processor state notionally apart
+	// views free-lists Message view structs (a host-allocation cache,
+	// not a simulated one: it charges no virtual time and exists purely
+	// to keep the per-packet Go allocation count at zero).
+	views     *Message
+	viewCount int
+	_pad      [32]byte // keep per-processor state notionally apart
 }
 
 // Allocator hands out MNodes.
@@ -178,10 +187,18 @@ func (a *Allocator) putNode(t *sim.Thread, n *MNode) {
 }
 
 // Message is a per-thread view [head, tail) into an MNode's buffer.
+//
+// View structs are recycled through per-processor free lists alongside
+// the MNode caches: Free returns the struct to the allocator, and New,
+// Clone and Fragment reuse it. A freed Message must therefore not be
+// touched again — the struct may already be another packet.
 type Message struct {
 	node *MNode
 	head int
 	tail int
+
+	// nextView links pooled view structs (nil while in use).
+	nextView *Message
 
 	// Ticket carries the Section 4.2 up-ticket from TCP to the
 	// application when ticketing is enabled.
@@ -206,6 +223,32 @@ type Message struct {
 	Born int64
 }
 
+// newView produces a zeroed Message struct from the per-processor view
+// cache (or fresh). Purely a host-allocation optimization: no virtual
+// time is charged.
+func (a *Allocator) newView(t *sim.Thread) *Message {
+	pc := &a.perProc[t.Proc%len(a.perProc)]
+	if m := pc.views; m != nil {
+		pc.views = m.nextView
+		pc.viewCount--
+		*m = Message{}
+		return m
+	}
+	return &Message{}
+}
+
+// recycleView parks a dead view struct for reuse (bounded; overflow is
+// left to the garbage collector).
+func (a *Allocator) recycleView(t *sim.Thread, m *Message) {
+	pc := &a.perProc[t.Proc%len(a.perProc)]
+	if pc.viewCount >= viewCacheDepth {
+		return
+	}
+	m.nextView = pc.views
+	pc.views = m
+	pc.viewCount++
+}
+
 // New allocates a message with size bytes of payload space and the given
 // headroom in front of it.
 func (a *Allocator) New(t *sim.Thread, size, headroom int) (*Message, error) {
@@ -213,7 +256,11 @@ func (a *Allocator) New(t *sim.Thread, size, headroom int) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Message{node: n, head: headroom, tail: headroom + size}, nil
+	m := a.newView(t)
+	m.node = n
+	m.head = headroom
+	m.tail = headroom + size
+	return m, nil
 }
 
 // Len returns the view length.
@@ -308,8 +355,10 @@ func (m *Message) privatize(t *sim.Thread) error {
 // TCP's retransmission queue holds clones of transmitted segments.
 func (m *Message) Clone(t *sim.Thread) *Message {
 	m.node.ref.Incr(t)
-	c := *m
-	return &c
+	c := m.node.alloc.newView(t)
+	*c = *m
+	c.nextView = nil
+	return c
 }
 
 // Fragment returns a view of the sub-range [off, off+n) sharing the same
@@ -319,20 +368,28 @@ func (m *Message) Fragment(t *sim.Thread, off, n int) (*Message, error) {
 		return nil, ErrNoRoom
 	}
 	m.node.ref.Incr(t)
-	return &Message{node: m.node, head: m.head + off, tail: m.head + off + n, Born: m.Born}, nil
+	f := m.node.alloc.newView(t)
+	f.node = m.node
+	f.head = m.head + off
+	f.tail = m.head + off + n
+	f.Born = m.Born
+	return f, nil
 }
 
 // Free drops this view's reference, returning the node to the allocator
-// at zero.
+// at zero and the view struct to the per-processor view cache. The
+// message must not be used after Free.
 func (m *Message) Free(t *sim.Thread) {
 	if m.node == nil {
 		return
 	}
 	n := m.node
 	m.node = nil
+	a := n.alloc
 	if n.ref.Decr(t) {
-		n.alloc.putNode(t, n)
+		a.putNode(t, n)
 	}
+	a.recycleView(t, m)
 }
 
 // Refs exposes the node's reference count (tests, assertions).

@@ -18,6 +18,46 @@ func BenchmarkEngineSyncHandoff(b *testing.B) {
 			th.Sync()
 		}
 	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineHandoffPingPong forces a genuine goroutine-to-goroutine
+// handoff on every scheduling decision: two threads advance in lockstep,
+// so each Sync parks the yielder and resumes the peer (no same-thread
+// fast path).
+func BenchmarkEngineHandoffPingPong(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	per := b.N/2 + 1
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, func(th *Thread) {
+			for j := 0; j < per; j++ {
+				th.Charge(10)
+				th.Sync()
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineSpawn measures thread creation and teardown: each
+// thread spawns its successor and exits, so every iteration after the
+// first reuses a pooled Thread struct and parked goroutine.
+func BenchmarkEngineSpawn(b *testing.B) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var spawn func(i int) func(*Thread)
+	spawn = func(i int) func(*Thread) {
+		return func(th *Thread) {
+			if i < b.N {
+				e.Spawn("t", 0, spawn(i+1))
+			}
+		}
+	}
+	e.Spawn("t", 0, spawn(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -31,6 +71,7 @@ func BenchmarkUncontendedMutex(b *testing.B) {
 			m.Release(th)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -48,6 +89,7 @@ func BenchmarkContendedMutex4Threads(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -65,6 +107,7 @@ func BenchmarkContendedMCS4Threads(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
@@ -79,6 +122,7 @@ func BenchmarkAtomicRefCount(b *testing.B) {
 			rc.Decr(th)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }

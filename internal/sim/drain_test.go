@@ -1,0 +1,137 @@
+package sim
+
+// Goroutine-lifecycle tests: a truncated RunUntil must not leak parked
+// worker goroutines once the engine is drained, and a run that completes
+// must release its pool on its own.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// waitGoroutines polls until the process goroutine count drops back to
+// the baseline (worker exits are asynchronous).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func spinForever(th *Thread) {
+	for {
+		th.Charge(100)
+		th.Sync()
+	}
+}
+
+func TestDrainReleasesTruncatedRun(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, spinForever)
+	}
+	if left := e.RunUntil(50_000); left != 8 {
+		t.Fatalf("RunUntil = %d live threads, want 8", left)
+	}
+	e.Drain()
+	waitGoroutines(t, base)
+}
+
+func TestCompletedRunReleasesPool(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	for i := 0; i < 8; i++ {
+		e.Spawn(fmt.Sprintf("t%d", i), i, func(th *Thread) {
+			th.Charge(1000)
+			th.Sync()
+		})
+	}
+	e.Run()
+	waitGoroutines(t, base)
+}
+
+func TestDrainUnwindsBlockedThreads(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	// One thread holds the mutex past the limit; the others park on it.
+	// Drain must unwind blocked threads too, including any deferred
+	// Release that re-enters the scheduler mid-unwind.
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var m Mutex
+	e.Spawn("holder", 0, func(th *Thread) {
+		m.Acquire(th)
+		defer m.Release(th)
+		for {
+			th.Charge(1000)
+			th.Sync()
+		}
+	})
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("waiter%d", i), i+1, func(th *Thread) {
+			th.Charge(10)
+			m.Acquire(th)
+			m.Release(th)
+		})
+	}
+	if left := e.RunUntil(100_000); left == 0 {
+		t.Fatal("expected live threads at the limit")
+	}
+	e.Drain()
+	waitGoroutines(t, base)
+}
+
+func TestEngineUsableAfterDrain(t *testing.T) {
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	e.Spawn("spin", 0, spinForever)
+	e.RunUntil(10_000)
+	e.Drain()
+
+	ran := false
+	e.Spawn("again", 0, func(th *Thread) {
+		th.Charge(10)
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("thread spawned after Drain did not run")
+	}
+}
+
+func TestSpawnReusesPooledThreads(t *testing.T) {
+	// A chain of 100 one-shot threads, each spawning its successor
+	// before exiting: after the first handoff every Spawn should reuse
+	// the just-retired struct, so the engine creates only two.
+	e := New(cost.NewModel(cost.Challenge100), 1)
+	var chain func(i int) func(*Thread)
+	chain = func(i int) func(*Thread) {
+		return func(th *Thread) {
+			th.Charge(10)
+			if i < 100 {
+				e.Spawn("link", 0, chain(i+1))
+			}
+		}
+	}
+	e.Spawn("link", 0, chain(1))
+	e.Run()
+	if got := len(e.threads); got > 2 {
+		t.Fatalf("100 chained spawns created %d thread structs, want <= 2 (pool reuse)", got)
+	}
+}

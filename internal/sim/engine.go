@@ -67,6 +67,11 @@ func (s threadState) String() string {
 // processor. It doubles as the per-processor context that the x-kernel
 // passes implicitly: per-processor resource caches and map-manager
 // counting locks key off Thread.Proc.
+//
+// Thread structs (and their worker goroutines and resume channels) are
+// pooled by the engine: when a thread's body returns, the struct parks
+// on a free list and the next Spawn reuses it instead of allocating a
+// new goroutine, stack and channel.
 type Thread struct {
 	eng  *Engine
 	name string
@@ -80,7 +85,12 @@ type Thread struct {
 	vt      int64 // local virtual clock, ns
 	pushSeq int64 // FIFO tiebreak among equal clocks
 	state   threadState
-	resume  chan struct{}
+	resume  chan struct{} // capacity 1; the single reused handoff channel
+
+	// fn is the thread body for the current (or next) life of this
+	// struct's worker goroutine; nil while parked on the free list, and
+	// a nil fn on resume tells the worker to exit (pool shutdown).
+	fn func(*Thread)
 
 	rng Rand
 
@@ -92,11 +102,24 @@ type Thread struct {
 	panicVal any
 }
 
+// drainSignal unwinds a parked thread's stack during Engine.Drain. It
+// is recovered by the worker loop and never escapes to user code.
+type drainSignal struct{}
+
 // Engine is the discrete-event scheduler.
+//
+// Scheduling uses direct parked-goroutine handoff: the goroutine that
+// is giving up control (a yielding thread, a finishing thread, or the
+// RunUntil driver) picks the next runnable thread itself and resumes it
+// over that thread's single reused channel, then parks on its own. One
+// channel operation pair per context switch — and none at all when the
+// yielding thread is still the minimum and simply keeps running. The
+// engine's state stays serialized: exactly one goroutine holds the
+// scheduling token at any moment, and every handoff is a channel
+// operation, so the serialization is also a happens-before edge.
 type Engine struct {
 	C *cost.Model
 
-	yieldC  chan *Thread
 	heap    []*Thread
 	pushCtr int64
 	now     int64
@@ -105,6 +128,24 @@ type Engine struct {
 	nextID  int
 	rng     Rand
 	started bool
+
+	// limit is the active RunUntil bound (-1 when unbounded).
+	limit int64
+	// stopC wakes the RunUntil driver: all threads done, limit reached,
+	// deadlock, or a thread panic. Exactly one signal per Run.
+	stopC chan struct{}
+	// stopPanic carries a deadlock dump or thread panic to the driver.
+	stopPanic any
+	// threads registers every Thread struct ever spawned (live, parked
+	// and pooled); Drain walks it to release parked goroutines.
+	threads []*Thread
+	// free is the pool of done threads whose workers are parked awaiting
+	// another Spawn.
+	free []*Thread
+	// draining makes every resumed thread unwind via drainSignal.
+	draining bool
+	// drainC acknowledges one unwound thread per Drain step.
+	drainC chan struct{}
 
 	// Trace, when non-nil, receives one line per scheduling decision;
 	// used by tests.
@@ -132,7 +173,9 @@ func New(model *cost.Model, seed uint64) *Engine {
 	}
 	return &Engine{
 		C:      model,
-		yieldC: make(chan *Thread),
+		stopC:  make(chan struct{}, 1),
+		drainC: make(chan struct{}),
+		limit:  -1,
 		rng:    NewRand(seed),
 	}
 }
@@ -142,31 +185,153 @@ func (e *Engine) Now() int64 { return e.now }
 
 // Spawn creates a thread bound to processor proc and schedules it at the
 // current virtual time. It may be called before Run or from a running
-// thread.
+// thread. Thread structs and worker goroutines are reused from the
+// engine's pool when available.
 func (e *Engine) Spawn(name string, proc int, fn func(*Thread)) *Thread {
-	t := &Thread{
-		eng:    e,
-		name:   name,
-		ID:     e.nextID,
-		Proc:   proc,
-		vt:     e.now,
-		state:  stateNew,
-		resume: make(chan struct{}),
-		rng:    NewRand(e.rng.Uint64()),
+	var t *Thread
+	if n := len(e.free); n > 0 {
+		t = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		t.name = name
+		t.Proc = proc
+		t.vt = e.now
+		t.state = stateNew
+		t.blockReason = ""
+		t.panicVal = nil
+		t.ID = e.nextID
+		t.rng = NewRand(e.rng.Uint64())
+		t.fn = fn
+	} else {
+		t = &Thread{
+			eng:    e,
+			name:   name,
+			ID:     e.nextID,
+			Proc:   proc,
+			vt:     e.now,
+			state:  stateNew,
+			resume: make(chan struct{}, 1),
+			rng:    NewRand(e.rng.Uint64()),
+			fn:     fn,
+		}
+		e.threads = append(e.threads, t)
+		go e.worker(t)
 	}
 	e.nextID++
 	e.live++
-	go func() {
-		<-t.resume
-		defer func() {
-			t.panicVal = recover()
-			t.state = stateDone
-			t.eng.yieldC <- t
-		}()
-		fn(t)
-	}()
 	e.push(t)
 	return t
+}
+
+// worker is the long-lived goroutine behind a Thread struct. Each
+// iteration is one thread lifetime: park until resumed, run the body,
+// retire to the pool. A resume with a nil body is the pool-shutdown
+// signal.
+func (e *Engine) worker(t *Thread) {
+	for {
+		<-t.resume
+		if t.fn == nil {
+			return // pool released
+		}
+		if e.draining {
+			// Spawned but never started: nothing to unwind.
+			e.retire(t)
+			e.drainC <- struct{}{}
+			continue
+		}
+		drained := e.call(t)
+		e.retire(t)
+		if drained {
+			e.drainC <- struct{}{}
+			continue
+		}
+		e.finish(t)
+	}
+}
+
+// call runs the thread body, capturing panics. A drainSignal panic
+// (from Drain unwinding the stack) is absorbed, not recorded.
+func (e *Engine) call(t *Thread) (drained bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(drainSignal); ok {
+				drained = true
+			} else {
+				t.panicVal = r
+			}
+		}
+	}()
+	t.fn(t)
+	return false
+}
+
+// retire marks t done and parks its struct on the free list for reuse.
+func (e *Engine) retire(t *Thread) {
+	t.state = stateDone
+	t.fn = nil
+	e.live--
+	e.free = append(e.free, t)
+}
+
+// finish hands the scheduling token onward after a thread body returns:
+// forward a panic to the driver, declare completion, or dispatch the
+// next runnable thread.
+func (e *Engine) finish(t *Thread) {
+	if t.panicVal != nil {
+		// Re-raise the thread's panic on the Run caller's goroutine so
+		// library users (and tests) can recover it.
+		e.stopPanic = t.panicVal
+		t.panicVal = nil
+		e.signalStop()
+		return
+	}
+	if e.live == 0 {
+		e.signalStop()
+		return
+	}
+	e.step(nil)
+}
+
+// step makes one scheduling decision while holding the token: pop the
+// minimum-clock runnable thread and resume it. self, when non-nil, is
+// the calling thread; if it is itself the minimum, step returns true
+// and the caller keeps running with no handoff at all. When the
+// simulation cannot proceed (limit reached, deadlock), the driver is
+// woken instead and step returns false; the caller then parks.
+func (e *Engine) step(self *Thread) bool {
+	next := e.pop()
+	if next == nil {
+		e.stopPanic = "sim: deadlock — all threads blocked\n" + e.dump()
+		e.signalStop()
+		return false
+	}
+	if e.limit >= 0 && next.vt > e.limit {
+		e.push(next)
+		e.signalStop()
+		return false
+	}
+	if next.vt > e.now {
+		e.now = next.vt
+	} else {
+		// A thread woken "in the past" (e.g. granted a lock released at
+		// an earlier point than the clock has reached) resumes now.
+		next.vt = e.now
+	}
+	next.state = stateRunning
+	e.cur = next
+	if e.Trace != nil {
+		e.Trace(fmt.Sprintf("t=%d run %s", e.now, next.name))
+	}
+	if next == self {
+		return true
+	}
+	next.resume <- struct{}{}
+	return false
+}
+
+// signalStop wakes the RunUntil driver (buffered; never blocks).
+func (e *Engine) signalStop() {
+	e.stopC <- struct{}{}
 }
 
 // Run drives the simulation until every thread has terminated. It panics
@@ -178,6 +343,11 @@ func (e *Engine) Run() {
 // RunUntil drives the simulation until all threads terminate or the
 // virtual clock would pass limit (limit < 0 means no limit). It returns
 // the number of live threads remaining.
+//
+// When it returns non-zero, the remaining threads stay parked on their
+// goroutines; resume them with another RunUntil, or release them with
+// Drain. When it returns zero the worker pool is released, so a
+// completed engine holds no goroutines.
 func (e *Engine) RunUntil(limit int64) int {
 	if e.started {
 		panic("sim: Run called reentrantly")
@@ -185,49 +355,54 @@ func (e *Engine) RunUntil(limit int64) int {
 	e.started = true
 	defer func() { e.started = false }()
 
-	for e.live > 0 {
-		t := e.pop()
-		if t == nil {
-			panic("sim: deadlock — all threads blocked\n" + e.dump())
-		}
-		if limit >= 0 && t.vt > limit {
-			e.push(t)
-			return e.live
-		}
-		if t.vt > e.now {
-			e.now = t.vt
-		} else {
-			// A thread woken "in the past" (e.g. granted a lock
-			// released at an earlier point than the clock has
-			// reached) resumes now.
-			t.vt = e.now
-		}
-		t.state = stateRunning
-		e.cur = t
-		if e.Trace != nil {
-			e.Trace(fmt.Sprintf("t=%d run %s", e.now, t.name))
-		}
-		t.resume <- struct{}{}
-		y := <-e.yieldC
-		e.cur = nil
-		switch y.state {
-		case stateReady:
-			e.push(y)
-		case stateBlocked:
-			// Will be re-pushed by a Wake.
-		case stateDone:
-			e.live--
-			if y.panicVal != nil {
-				// Re-raise a thread's panic on the Run caller's
-				// goroutine so library users (and tests) can
-				// recover it.
-				panic(y.panicVal)
-			}
-		default:
-			panic("sim: thread yielded in state " + y.state.String())
+	e.limit = limit
+	if e.live > 0 {
+		e.step(nil)
+		<-e.stopC
+		if p := e.stopPanic; p != nil {
+			e.stopPanic = nil
+			panic(p)
 		}
 	}
-	return 0
+	if e.live == 0 {
+		e.releasePool()
+		return 0
+	}
+	return e.live
+}
+
+// Drain releases every thread still parked in the engine — the threads
+// a limit-truncated RunUntil left behind — by unwinding their stacks,
+// then shuts down the pooled worker goroutines. After Drain the engine
+// holds no goroutines; it remains usable (new Spawns start fresh
+// workers). It must not be called while Run is in progress, nor from a
+// simulated thread.
+func (e *Engine) Drain() {
+	if e.started {
+		panic("sim: Drain called during Run")
+	}
+	e.draining = true
+	for _, t := range e.threads {
+		if t.state == stateDone {
+			continue
+		}
+		t.resume <- struct{}{}
+		<-e.drainC
+	}
+	e.draining = false
+	e.heap = e.heap[:0]
+	e.cur = nil
+	e.releasePool()
+}
+
+// releasePool exits the worker goroutines of all pooled done threads.
+// Their structs stay registered; a later Spawn starts new workers.
+func (e *Engine) releasePool() {
+	for i, t := range e.free {
+		t.resume <- struct{}{} // fn == nil: worker exits
+		e.free[i] = nil
+	}
+	e.free = e.free[:0]
 }
 
 // Wake marks a blocked thread runnable no earlier than virtual time at.
@@ -300,12 +475,12 @@ func (e *Engine) dump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "virtual time %d ns, %d live threads\n", e.now, e.live)
 	var lines []string
-	collect := func(t *Thread) {
+	for _, t := range e.threads {
+		if t.state == stateDone {
+			continue
+		}
 		lines = append(lines, fmt.Sprintf("  %-24s proc=%d vt=%d state=%s reason=%s",
 			t.name, t.Proc, t.vt, t.state, t.blockReason))
-	}
-	for _, t := range e.heap {
-		collect(t)
 	}
 	sort.Strings(lines)
 	b.WriteString(strings.Join(lines, "\n"))
@@ -344,12 +519,30 @@ func (t *Thread) ChargeBytes(rate float64, n int) {
 	t.Charge(cost.Bytes(rate, n))
 }
 
-// yield hands control to the engine and waits to be resumed (except for
-// stateDone, which never resumes).
+// yield gives up control: the thread parks its own state, picks the
+// next runnable thread itself and resumes it directly, then waits on
+// its single reused channel. When the yielding thread is still the
+// minimum-clock runnable thread, no handoff (and no channel operation)
+// happens at all — it just keeps running.
 func (t *Thread) yield(s threadState) {
+	e := t.eng
+	if e.draining {
+		// Drain is unwinding this stack; a deferred function tried to
+		// park again (lock handoff, Sync in a cleanup path). Keep
+		// unwinding.
+		panic(drainSignal{})
+	}
 	t.state = s
-	t.eng.yieldC <- t
+	if s == stateReady {
+		e.push(t)
+	}
+	if e.step(t) {
+		return // fast path: still the minimum, keep running
+	}
 	<-t.resume
+	if e.draining {
+		panic(drainSignal{})
+	}
 }
 
 // Sync parks the thread until it holds the minimum virtual time among

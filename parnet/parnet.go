@@ -185,6 +185,11 @@ type Config struct {
 	MeasureMs int64
 	Runs      int
 	Seed      uint64
+
+	// Workers bounds the host OS threads that independent runs and
+	// sweep points fan across (0 means GOMAXPROCS). Results are
+	// byte-identical for every value.
+	Workers int
 }
 
 // DefaultConfig is the paper's baseline: UDP send side, one processor,
@@ -321,10 +326,12 @@ func Run(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sum, agg, err := core.Measure(cfg, c.WarmupMs*1_000_000, c.MeasureMs*1_000_000, c.Runs)
+	sums, aggs, err := experiments.RunPoints([]core.Config{cfg},
+		c.WarmupMs*1_000_000, c.MeasureMs*1_000_000, c.Runs, c.Workers)
 	if err != nil {
 		return Result{}, err
 	}
+	sum, agg := sums[0], aggs[0]
 	return Result{
 		Mbps:              sum.Mean,
 		CI90:              sum.CI90,
@@ -375,19 +382,47 @@ func ProfileRun(c Config) (Result, string, error) {
 // Sweep measures the configuration at every processor count from 1 to
 // maxProcs, returning one Result per count. With Connections > 1, the
 // connection count follows the processor count (one per processor).
+// Points and repeat runs fan across c.Workers host threads (0 means
+// GOMAXPROCS); the results are byte-identical to a sequential sweep.
 func Sweep(c Config, maxProcs int) ([]Result, error) {
-	var out []Result
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	if c.WarmupMs <= 0 {
+		c.WarmupMs = 500
+	}
+	if c.MeasureMs <= 0 {
+		c.MeasureMs = 1000
+	}
+	cfgs := make([]core.Config, 0, maxProcs)
 	for n := 1; n <= maxProcs; n++ {
 		cc := c
 		cc.Processors = n
 		if c.Connections > 1 {
 			cc.Connections = n
 		}
-		r, err := Run(cc)
+		cfg, err := cc.toCore()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		cfgs = append(cfgs, cfg)
+	}
+	sums, aggs, err := experiments.RunPoints(cfgs,
+		c.WarmupMs*1_000_000, c.MeasureMs*1_000_000, c.Runs, c.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(cfgs))
+	for i := range cfgs {
+		out[i] = Result{
+			Mbps:              sums[i].Mean,
+			CI90:              sums[i].CI90,
+			Samples:           sums[i].Samples,
+			OutOfOrderPct:     aggs[i].OOOPct,
+			WireOutOfOrderPct: aggs[i].WireOOOPct,
+			LockWaitFraction:  aggs[i].LockWaitFrac,
+			Packets:           aggs[i].Packets,
+		}
 	}
 	return out, nil
 }
@@ -424,6 +459,10 @@ type ExperimentParams struct {
 	MeasureMs int64
 	Runs      int
 	Seed      uint64
+	// Workers bounds the host OS threads the experiment's independent
+	// points fan across (0 means GOMAXPROCS); output is identical for
+	// every value.
+	Workers int
 }
 
 // RunExperiment regenerates one paper table/figure by ID (for example
@@ -449,6 +488,7 @@ func RunExperiment(id string, p ExperimentParams) ([]string, error) {
 	if p.Seed != 0 {
 		ep.Seed = p.Seed
 	}
+	ep.Workers = p.Workers
 	tables, err := spec.Run(ep)
 	if err != nil {
 		return nil, err
