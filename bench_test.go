@@ -137,6 +137,10 @@ func BenchmarkExtStrategies(b *testing.B) { runSpec(b, "ext-strategies") }
 // workload in which the retransmission machinery runs under contention.
 func BenchmarkExtLoss(b *testing.B) { runSpec(b, "ext-loss") }
 
+// Extension: receive-side flow steering policies under the seeded
+// many-connection heavy-traffic workload.
+func BenchmarkExtSteer(b *testing.B) { runSpec(b, "ext-steer") }
+
 // Ablations beyond the paper's own figures (DESIGN.md section 6).
 func BenchmarkAblationFIFOKind(b *testing.B)         { runSpec(b, "ablation-fifo") }
 func BenchmarkAblationMapCache(b *testing.B)         { runSpec(b, "ablation-mapcache") }

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -48,10 +49,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("Available experiments:")
-		for _, s := range experiments.Catalog() {
-			fmt.Printf("  %-18s %-22s %s\n", s.ID, s.Figures, s.Brief)
-		}
+		printCatalog(os.Stdout)
 		return
 	}
 	if *exp == "" && *jsonOut == "" && *benchOut == "" {
@@ -108,7 +106,8 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			s, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q (see -list)\n", id)
+				fmt.Fprintf(os.Stderr, "ppbench: unknown experiment %q\n", id)
+				printCatalog(os.Stderr)
 				os.Exit(2)
 			}
 			specs = append(specs, s)
@@ -135,6 +134,14 @@ func main() {
 			}
 		}
 		fmt.Printf("   (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// printCatalog lists every registered experiment.
+func printCatalog(w io.Writer) {
+	fmt.Fprintln(w, "Available experiments:")
+	for _, s := range experiments.Catalog() {
+		fmt.Fprintf(w, "  %-18s %-22s %s\n", s.ID, s.Figures, s.Brief)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/sim"
+	"repro/internal/steer"
 	"repro/internal/tcp"
 )
 
@@ -45,6 +46,15 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "record the packet flight recorder and write a Chrome trace-event JSON (load in Perfetto) to FILE")
 		traceDepth = flag.Int("trace-depth", 0, "per-processor trace ring capacity (0: default 65536 events)")
+
+		// Receive-side flow steering (forces -proto udp -side recv).
+		steerPol = flag.String("steer", "off", "flow steering policy: off, rr, rss, fdir, rebalance")
+		hotPct   = flag.Int("hot", 0, "steered workload: percent of arrivals to the hot connection subset")
+		hotConns = flag.Int("hotconns", 1, "steered workload: hot subset size")
+		gapNs    = flag.Int64("gap", 0, "steered workload: mean inter-arrival gap, virtual ns (0: default)")
+		flowPkts = flag.Int("flowpkts", 0, "steered workload: mean flow length before connection churn (0: no churn)")
+		appMove  = flag.Int("appmove", 0, "steered workload: migrate a connection's app thread every N deliveries (0: never)")
+		quiesce  = flag.Int64("quiesce", 0, "rebalancer quiescence hold after a bucket migration, virtual ns")
 	)
 	flag.Parse()
 
@@ -95,6 +105,29 @@ func main() {
 	default:
 		fatal("unknown -strategy %q", *strategy)
 	}
+	if *steerPol != "off" {
+		cfg.Proto = core.ProtoUDP
+		cfg.Side = core.SideRecv
+		cfg.Steer.Enabled = true
+		switch *steerPol {
+		case "rr":
+			cfg.Steer.Policy = steer.PolicyPacket
+		case "rss":
+			cfg.Steer.Policy = steer.PolicyRSS
+		case "fdir":
+			cfg.Steer.Policy = steer.PolicyFlowDirector
+		case "rebalance":
+			cfg.Steer.Policy = steer.PolicyRebalance
+		default:
+			fatal("unknown -steer %q", *steerPol)
+		}
+		cfg.Steer.QuiescenceNs = *quiesce
+		cfg.Workload.HotConnPct = *hotPct
+		cfg.Workload.HotConns = *hotConns
+		cfg.Workload.ArrivalGapNs = *gapNs
+		cfg.Workload.MeanFlowPkts = *flowPkts
+		cfg.Workload.AppMoveEvery = *appMove
+	}
 	cfg.Procs = *procs
 	cfg.Connections = *conns
 	cfg.PacketSize = *size
@@ -125,8 +158,13 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("Throughput: %.1f Mbit/s  (ooo %.1f%%, wire-ooo %.2f%%, lock wait %.1f%% of processor time)\n\n",
+	fmt.Printf("Throughput: %.1f Mbit/s  (ooo %.1f%%, wire-ooo %.2f%%, lock wait %.1f%% of processor time)\n",
 		res.Mbps, res.OOOPct, res.WireOOOPct, 100*res.LockWaitFrac)
+	if cfg.Steer.Enabled {
+		fmt.Printf("Steering:   imbalance %.1f%% (peak queue %.1f%%), %d migrations, %d flow evictions, %d ring drops\n",
+			res.ImbalancePct, res.PeakQueuePct, res.SteerMigrates, res.FlowEvicts, res.SteerDrops)
+	}
+	fmt.Println()
 	fmt.Print(st.ProfileReport())
 
 	if *traceOut != "" {

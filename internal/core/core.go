@@ -32,9 +32,11 @@ import (
 	"repro/internal/measure"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/steer"
 	"repro/internal/tcp"
 	"repro/internal/trace"
 	"repro/internal/udp"
+	"repro/internal/workload"
 	"repro/internal/xkernel"
 )
 
@@ -123,6 +125,14 @@ type Config struct {
 	// Strategy selects the parallelization strategy (Section 1):
 	// packet-level (default), connection-level, or layered.
 	Strategy Strategy
+	// Steer enables the receive-side flow-steering subsystem
+	// (internal/steer): a dispatcher thread steers generated arrivals
+	// onto per-processor rings instead of the fixed conn==proc pump
+	// wiring. UDP receive only.
+	Steer steer.Config
+	// Workload parameterizes the steered traffic generator and sink
+	// (internal/workload). Only read when Steer.Enabled.
+	Workload workload.Config
 
 	// Trace enables the packet flight recorder (internal/trace): ring
 	// buffers of per-processor events plus lock-wait, layer-residence
@@ -189,6 +199,16 @@ type Stack struct {
 
 	stop sim.Flag
 
+	// Steering plumbing (steer.go); all nil unless Cfg.Steer.Enabled.
+	steerSrc   *driver.SteerSource
+	steerer    *steer.Steerer
+	steerGen   *workload.Generator
+	steerSink  *workload.Sink
+	steerQs    []*sim.Queue
+	steerDrops int64
+
+	steerHashCaches []steerHashCache
+
 	// Alternative-strategy plumbing (strategy.go).
 	handoffQs   []*sim.Queue
 	q1, q2, q3  *sim.Queue
@@ -211,6 +231,9 @@ func Build(cfg Config) (*Stack, error) {
 		return nil, fmt.Errorf("core: PacketSize %d exceeds what one FDDI frame carries", cfg.PacketSize)
 	}
 	if err := validateStrategy(&cfg); err != nil {
+		return nil, err
+	}
+	if err := validateSteer(&cfg); err != nil {
 		return nil, err
 	}
 	s := &Stack{Cfg: cfg}
@@ -239,6 +262,9 @@ func Build(cfg Config) (*Stack, error) {
 	case cfg.Proto == ProtoUDP && cfg.Side == SideSend:
 		s.udpSink = &driver.UDPSink{}
 		wire = s.udpSink
+	case cfg.Proto == ProtoUDP && cfg.Side == SideRecv && cfg.Steer.Enabled:
+		s.steerSrc = driver.NewSteerSource(s.Alloc, cfg.PacketSize, cfg.Connections)
+		wire = s.steerSrc
 	case cfg.Proto == ProtoUDP && cfg.Side == SideRecv:
 		s.udpSrc = driver.NewUDPSource(s.Alloc, cfg.PacketSize, cfg.Connections)
 		wire = s.udpSrc
@@ -286,6 +312,8 @@ func Build(cfg Config) (*Stack, error) {
 		upper = s.fault
 	}
 	switch {
+	case s.steerSrc != nil:
+		s.steerSrc.SetUpper(upper)
 	case s.udpSrc != nil:
 		s.udpSrc.SetUpper(upper)
 	case s.tcpRecv != nil:
@@ -334,6 +362,9 @@ func Build(cfg Config) (*Stack, error) {
 	}
 
 	s.Source = app.NewSource(s.Alloc, cfg.PacketSize)
+	if cfg.Steer.Enabled {
+		s.buildSteer()
+	}
 	return s, nil
 }
 
@@ -363,13 +394,19 @@ func (s *Stack) setup(t *sim.Thread) error {
 		if err := s.IP.OpenEnable(t, ip.ProtoUDP, s.UDP); err != nil {
 			return err
 		}
-		s.Sink = app.NewSink(false, nil)
+		var up xkernel.Receiver
+		if s.steerSink != nil {
+			up = s.steerSink
+		} else {
+			s.Sink = app.NewSink(false, nil)
+			up = s.Sink
+		}
 		for i := 0; i < cfg.Connections; i++ {
 			part := xkernel.Part{
 				LocalIP: driver.HostLocal, RemoteIP: driver.HostPeer,
 				LocalPort: driver.LocalPort(i), RemotePort: driver.PeerPort(i),
 			}
-			sess, err := s.UDP.Open(t, part, s.Sink)
+			sess, err := s.UDP.Open(t, part, up)
 			if err != nil {
 				return err
 			}
@@ -462,6 +499,8 @@ func (s *Stack) setup(t *sim.Thread) error {
 // (receive side).
 func (s *Stack) Bytes() int64 {
 	switch {
+	case s.steerSink != nil:
+		return s.steerSink.Bytes()
 	case s.udpSink != nil:
 		return s.udpSink.Bytes()
 	case s.tcpRecv != nil:
@@ -535,16 +574,34 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 type RunResult struct {
 	Mbps float64
 	// OOOPct is the percentage of data segments arriving out of order
-	// at TCP (receive side; Table 1).
+	// at TCP (receive side; Table 1), or of datagrams delivered out of
+	// per-connection sequence order on steered runs.
 	OOOPct float64
 	// WireOOOPct is the percentage misordered below TCP on the wire
 	// (send side).
 	WireOOOPct float64
 	// LockWaitFrac is total state-lock wait time divided by total
-	// virtual CPU time (procs x elapsed) — the Pixie figure.
+	// virtual CPU time (procs x elapsed) — the Pixie figure. Steered
+	// runs count the Flow-Director bucket locks.
 	LockWaitFrac float64
 	// Packets transferred during the measurement interval.
 	Packets int64
+	// ImbalancePct is the per-processor delivered-packet spread,
+	// (max-mean)/mean in percent, over the measurement interval
+	// (steered runs only).
+	ImbalancePct float64
+	// PeakQueuePct is the worst sampled dispatch-queue imbalance over
+	// the run (steered runs only).
+	PeakQueuePct float64
+	// SteerMigrates counts indirection-bucket moves plus Flow-Director
+	// repins during the measurement interval.
+	SteerMigrates int64
+	// FlowEvicts counts Flow-Director LRU evictions during the
+	// measurement interval.
+	FlowEvicts int64
+	// SteerDrops counts arrivals dropped on a full dispatch ring
+	// during the measurement interval.
+	SteerDrops int64
 }
 
 // Run drives the workload: setup, warm-up, a timed measurement
@@ -575,6 +632,7 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 				s.fault.Shutdown(t)
 			}
 			s.closeStrategyQueues(t)
+			s.closeSteerQueues(t)
 			s.Wheel.Stop()
 		}()
 		if err := s.setup(t); err != nil {
@@ -586,10 +644,12 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 			// dropped SYN would deadlock the synchronous setup.
 			s.fault.Arm()
 		}
-		switch cfg.Strategy {
-		case StrategyConnection:
+		switch {
+		case cfg.Steer.Enabled:
+			s.runSteer()
+		case cfg.Strategy == StrategyConnection:
 			s.runConnectionLevel(t)
-		case StrategyLayered:
+		case cfg.Strategy == StrategyLayered:
 			// Stage threads were spawned during setup (the handshake
 			// needs the pipeline running).
 		default:
@@ -604,11 +664,13 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 		b0 := s.Bytes()
 		pk0, oo0, wo0, ws0 := s.snapshotOrder()
 		w0 := s.stateLockWait()
+		sm0 := s.steerSnapshot()
 		t0 := t.Now()
 		t.Sleep(measureNs)
 		b1 := s.Bytes()
 		pk1, oo1, wo1, ws1 := s.snapshotOrder()
 		w1 := s.stateLockWait()
+		sm1 := s.steerSnapshot()
 		elapsed := t.Now() - t0
 
 		res.Mbps = float64(b1-b0) * 8 * 1e3 / float64(elapsed)
@@ -625,14 +687,20 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 		if elapsed > 0 {
 			res.LockWaitFrac = float64(w1-w0) / float64(elapsed*int64(cfg.Procs))
 		}
+		applySteerMetrics(&res, sm0, sm1)
 	})
 	s.Eng.Run()
 	return res, runErr
 }
 
 // snapshotOrder gathers ordering counters: (TCP data segs, TCP OOO
-// segs, wire OOO, wire segs).
+// segs, wire OOO, wire segs). Steered runs measure ordering at the
+// workload sink instead.
 func (s *Stack) snapshotOrder() (int64, int64, int64, int64) {
+	if s.steerSink != nil {
+		data, ooo := s.steerSink.Order()
+		return data, ooo, 0, 0
+	}
 	var data, ooo, wireOOO, wireSegs int64
 	for _, tcb := range s.tcbs {
 		o, d := tcb.OOOStats()
@@ -645,8 +713,12 @@ func (s *Stack) snapshotOrder() (int64, int64, int64, int64) {
 	return data, ooo, wireOOO, wireSegs
 }
 
-// stateLockWait totals connection-state lock wait time.
+// stateLockWait totals connection-state lock wait time (or, steered,
+// the Flow-Director bucket lock wait).
 func (s *Stack) stateLockWait() int64 {
+	if s.steerer != nil {
+		return s.steerer.LockWaitNs()
+	}
 	var w int64
 	for _, tcb := range s.tcbs {
 		w += tcb.StateLockStats().WaitNs
@@ -694,12 +766,19 @@ func AggregateRuns(rrs []RunResult) (measure.Result, RunResult) {
 		agg.WireOOOPct += res.WireOOOPct
 		agg.LockWaitFrac += res.LockWaitFrac
 		agg.Packets += res.Packets
+		agg.ImbalancePct += res.ImbalancePct
+		agg.PeakQueuePct += res.PeakQueuePct
+		agg.SteerMigrates += res.SteerMigrates
+		agg.FlowEvicts += res.FlowEvicts
+		agg.SteerDrops += res.SteerDrops
 	}
 	n := float64(len(rrs))
 	agg.Mbps /= n
 	agg.OOOPct /= n
 	agg.WireOOOPct /= n
 	agg.LockWaitFrac /= n
+	agg.ImbalancePct /= n
+	agg.PeakQueuePct /= n
 	return measure.Summarize(samples), agg
 }
 

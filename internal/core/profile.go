@@ -58,6 +58,9 @@ func (s *Stack) ProfileReport() string {
 		row("tcp-demux map", s.TCP.DemuxMap().LockStats())
 	}
 	row("malloc arena", s.Alloc.ArenaLockStats())
+	if s.steerer != nil {
+		row("fdir flow table", s.steerer.LockStats())
+	}
 
 	fmt.Fprintf(&b, "\nMessage tool:\n")
 	ms := s.Alloc.Stats()
@@ -131,6 +134,20 @@ func (s *Stack) ProfileReport() string {
 		is := s.IP.Stats()
 		fmt.Fprintf(&b, "\nIP: sent %d, received %d, frags out/in %d/%d, reassembled %d, timed out %d\n",
 			is.Sent, is.Received, is.FragsOut, is.FragsIn, is.Reassembled, is.TimedOut)
+	}
+	if s.steerer != nil {
+		ss := s.steerer.Stats()
+		fmt.Fprintf(&b, "\nSteering (%v):\n", s.Cfg.Steer.Policy)
+		fmt.Fprintf(&b, "  %d decisions; flow table %d hits / %d misses, %d repins, %d evictions\n",
+			ss.Decisions, ss.FlowHits, ss.FlowMiss, ss.Repins, ss.Evictions)
+		fmt.Fprintf(&b, "  rebalancer: %d samples, %d bucket moves, %d held by quiescence\n",
+			ss.Samples, ss.Moves, ss.Held)
+		fmt.Fprintf(&b, "  ring drops %d\n", s.steerDrops)
+		pkts, ooo := s.steerSink.Order()
+		if pkts > 0 {
+			fmt.Fprintf(&b, "  delivered %d packets, %d misordered (%.1f%%)\n",
+				pkts, ooo, 100*float64(ooo)/float64(pkts))
+		}
 	}
 	if s.Rec != nil {
 		b.WriteString(s.traceSection())

@@ -1,0 +1,243 @@
+package core
+
+// Receive-side flow steering (Config.Steer): instead of the fixed
+// conn==proc pump wiring, a dispatcher thread — the simulated NIC —
+// produces the seeded open-loop workload, steers each arrival with the
+// configured policy (internal/steer) onto a bounded per-processor
+// dispatch ring, and one worker thread per processor shepherds the
+// dispatched frames up the real FDDI/IP/UDP stack to the workload
+// sink. A monitor thread samples ring depths in virtual time; under
+// the rebalancing policy it migrates indirection buckets.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/driver"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// validateSteer rejects steering configurations the engine cannot run
+// and fills the subsystem defaults.
+func validateSteer(cfg *Config) error {
+	if !cfg.Steer.Enabled {
+		return nil
+	}
+	if cfg.Proto != ProtoUDP || cfg.Side != SideRecv {
+		return errors.New("core: Steer requires the UDP receive side")
+	}
+	if cfg.Strategy != StrategyPacket {
+		return errors.New("core: Steer requires the packet-level strategy")
+	}
+	if cfg.Ticketing {
+		return errors.New("core: Steer is incompatible with ticketing")
+	}
+	if cfg.PacketSize < workload.StampLen {
+		return fmt.Errorf("core: Steer needs PacketSize >= %d for the workload stamp", workload.StampLen)
+	}
+	cfg.Steer = cfg.Steer.WithDefaults()
+	if err := cfg.Steer.Validate(); err != nil {
+		return err
+	}
+	cfg.Workload = cfg.Workload.WithDefaults()
+	if cfg.Workload.Seed == 0 {
+		// Derive from the run seed so Measure's per-run seeds vary the
+		// workload while any single config stays bit-reproducible.
+		cfg.Workload.Seed = cfg.Seed + 2
+	}
+	return nil
+}
+
+// steerHashCache memoizes one connection's Toeplitz hash until churn
+// re-keys the flow.
+type steerHashCache struct {
+	gen   uint32
+	hash  uint32
+	valid bool
+}
+
+// buildSteer constructs the steering plumbing after the stack layers.
+func (s *Stack) buildSteer() {
+	cfg := &s.Cfg
+	s.steerer = steer.New(cfg.Steer, cfg.Procs)
+	s.steerGen = workload.NewGenerator(cfg.Workload, cfg.Connections)
+	s.steerSink = workload.NewSink(cfg.Workload, cfg.Connections, cfg.Procs)
+	s.steerHashCaches = make([]steerHashCache, cfg.Connections)
+	s.steerQs = make([]*sim.Queue, cfg.Procs)
+	for p := range s.steerQs {
+		s.steerQs[p] = sim.NewQueue(fmt.Sprintf("steer%d", p), cfg.Steer.RingCapacity)
+	}
+	if cfg.Steer.Policy == steer.PolicyFlowDirector {
+		// The ATR update: each delivery pins the flow to the
+		// connection's (possibly just-migrated) application processor.
+		s.steerSink.Pin = func(t *sim.Thread, conn int, gen uint32, proc int) {
+			s.steerer.Pin(t, steerFlowID(conn, gen), s.steerHash(conn, gen), proc)
+		}
+	}
+}
+
+// steerFlowID is the exact-match identity of a (possibly churned)
+// connection flow.
+func steerFlowID(conn int, gen uint32) uint64 {
+	return uint64(conn)<<32 | uint64(gen)
+}
+
+// steerTuple is the 4-tuple the NIC hashes for connection conn at
+// churn generation gen. Wire ports stay fixed (sessions are opened
+// once at setup); churn re-keys only the steering identity, modelling
+// a fresh ephemeral source port.
+func steerTuple(conn int, gen uint32) steer.Tuple {
+	return steer.Tuple{
+		SrcIP:   [4]byte(driver.HostPeer),
+		DstIP:   [4]byte(driver.HostLocal),
+		SrcPort: driver.PeerPort(conn) + uint16(gen*4099),
+		DstPort: driver.LocalPort(conn),
+	}
+}
+
+// steerHash memoizes the tuple hash per connection generation.
+func (s *Stack) steerHash(conn int, gen uint32) uint32 {
+	c := &s.steerHashCaches[conn]
+	if !c.valid || c.gen != gen {
+		c.gen, c.hash, c.valid = gen, s.steerer.Hash(steerTuple(conn, gen)), true
+	}
+	return c.hash
+}
+
+// runSteer spawns the steering threads: one worker per processor, the
+// dispatcher on virtual processor P (the NIC runs beside the CPUs, as
+// hardware dispatch does), and the depth monitor on P+1. Both extra
+// indices exist in the allocator and recorder, which size for procs+2.
+func (s *Stack) runSteer() {
+	cfg := &s.Cfg
+	for p := 0; p < cfg.Procs; p++ {
+		p := p
+		s.Eng.Spawn(fmt.Sprintf("steerw%d", p), p, func(t *sim.Thread) {
+			s.steerWorker(t, p)
+		})
+	}
+	s.Eng.Spawn("steer-nic", cfg.Procs, s.steerDispatch)
+	s.Eng.Spawn("steer-mon", cfg.Procs+1, s.steerMonitor)
+}
+
+// steerDispatch is the NIC thread: open-loop arrivals, frame
+// production, steering decision, ring enqueue. A full ring drops the
+// frame, as a real adaptor ring would.
+func (s *Stack) steerDispatch(t *sim.Thread) {
+	for !s.stop.Get() {
+		a := s.steerGen.Next()
+		t.SleepUntil(a.At)
+		if s.stop.Get() {
+			return
+		}
+		m, err := s.steerSrc.Produce(t, a)
+		if err != nil {
+			panic(fmt.Sprintf("core: steer dispatch: %v", err))
+		}
+		h := s.steerHash(a.Conn, a.Gen)
+		p := s.steerer.Decide(t, steerFlowID(a.Conn, a.Gen), h)
+		if !s.steerQs[p].TryEnqueue(t, m) {
+			m.Free(t)
+			s.steerDrops++
+		}
+	}
+}
+
+// steerWorker is processor p's protocol thread: it drains p's dispatch
+// ring and shepherds each frame up the stack (thread-per-packet above
+// the dispatch point).
+func (s *Stack) steerWorker(t *sim.Thread, p int) {
+	for {
+		item, ok := s.steerQs[p].Dequeue(t)
+		if !ok {
+			return
+		}
+		if err := s.steerSrc.Inject(t, item.(*msg.Message)); err != nil {
+			// Fault-injected frames may fail to parse; that is the
+			// fault wire doing its job. Anything else is a bug.
+			if !s.Cfg.Faults.Enabled() && !s.stop.Get() {
+				panic(fmt.Sprintf("core: steer worker %d: %v", p, err))
+			}
+		}
+	}
+}
+
+// steerMonitor samples ring depths every rebalance period; under
+// PolicyRebalance the sample may migrate a bucket.
+func (s *Stack) steerMonitor(t *sim.Thread) {
+	period := s.Cfg.Steer.RebalancePeriodNs
+	depths := make([]int, s.Cfg.Procs)
+	for {
+		t.Sleep(period)
+		if s.stop.Get() {
+			return
+		}
+		for p := range depths {
+			depths[p] = s.steerQs[p].Len()
+		}
+		s.steerer.Sample(t, depths)
+	}
+}
+
+// closeSteerQueues closes and drains the dispatch rings at teardown.
+func (s *Stack) closeSteerQueues(t *sim.Thread) {
+	for _, q := range s.steerQs {
+		q.Close(t)
+		for {
+			item, ok := q.TryDequeue(t)
+			if !ok {
+				break
+			}
+			item.(*msg.Message).Free(t)
+		}
+	}
+}
+
+// steerSnap is one steering metrics snapshot.
+type steerSnap struct {
+	perProc []int64
+	stats   steer.Stats
+	drops   int64
+}
+
+// steerSnapshot captures the cumulative steering counters (zero value
+// when steering is off). The peak queue-imbalance watermark resets at
+// each snapshot, scoping it to the interval between snapshots.
+func (s *Stack) steerSnapshot() steerSnap {
+	if s.steerer == nil {
+		return steerSnap{}
+	}
+	sn := steerSnap{
+		perProc: s.steerSink.PerProc(),
+		stats:   s.steerer.Stats(),
+		drops:   s.steerDrops,
+	}
+	s.steerer.ResetPeak()
+	return sn
+}
+
+// applySteerMetrics folds the measurement-interval deltas into the run
+// result.
+func applySteerMetrics(res *RunResult, a, b steerSnap) {
+	if a.perProc == nil || b.perProc == nil {
+		return
+	}
+	var max, sum int64
+	for p := range b.perProc {
+		d := b.perProc[p] - a.perProc[p]
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if mean := float64(sum) / float64(len(b.perProc)); mean > 0 {
+		res.ImbalancePct = 100 * (float64(max) - mean) / mean
+	}
+	res.PeakQueuePct = b.stats.PeakQueuePct
+	res.SteerMigrates = (b.stats.Moves + b.stats.Repins) - (a.stats.Moves + a.stats.Repins)
+	res.FlowEvicts = b.stats.Evictions - a.stats.Evictions
+	res.SteerDrops = b.drops - a.drops
+}

@@ -1,0 +1,76 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xkernel"
+)
+
+// SteerSource is the receive-side driver for steered runs: a single
+// dispatcher thread (the simulated NIC) produces frames from per-
+// connection templates, and worker threads inject the dispatched
+// frames up the stack. Each payload carries a workload stamp
+// (connection, sequence, generation) so the delivery sink can measure
+// ordering without metadata side channels.
+type SteerSource struct {
+	up    xkernel.Upper
+	alloc *msg.Allocator
+	tmpl  [][]byte
+}
+
+// NewSteerSource builds one template per connection. payload must be at
+// least workload.StampLen bytes.
+func NewSteerSource(alloc *msg.Allocator, payload, conns int) *SteerSource {
+	s := &SteerSource{alloc: alloc}
+	for i := 0; i < conns; i++ {
+		s.tmpl = append(s.tmpl,
+			udpTemplate(payload, HostPeer, HostLocal, PeerPort(i), LocalPort(i)))
+	}
+	return s
+}
+
+// SetUpper connects the source to the MAC layer it injects into.
+func (s *SteerSource) SetUpper(up xkernel.Upper) { s.up = up }
+
+// TX absorbs anything the stack tries to transmit (nothing, on the
+// receive side).
+func (s *SteerSource) TX(t *sim.Thread, m *msg.Message) error {
+	st := &t.Engine().C.Stack
+	t.ChargeRand(st.DriverRing)
+	t.ChargeRand(st.DriverTX)
+	m.Free(t)
+	return nil
+}
+
+// Produce builds the frame for one arrival on the dispatcher thread:
+// template copy, workload stamp, birth timestamp. The frame is not yet
+// injected — the steering decision picks the processor whose worker
+// will Inject it.
+func (s *SteerSource) Produce(t *sim.Thread, a workload.Arrival) (*msg.Message, error) {
+	tmpl := s.tmpl[a.Conn%len(s.tmpl)]
+	m, err := s.alloc.New(t, len(tmpl), 0)
+	if err != nil {
+		return nil, fmt.Errorf("driver: steer source: %w", err)
+	}
+	st := &t.Engine().C.Stack
+	t.ChargeRand(st.DriverRXGen)
+	if err := m.CopyTemplate(0, tmpl); err != nil {
+		m.Free(t)
+		return nil, err
+	}
+	workload.EncodeStamp(m.Bytes()[udpFrameHdr:], a.Conn, a.Seq, a.Gen)
+	m.Born = t.Now()
+	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(a.Conn))
+	return m, nil
+}
+
+// Inject shepherds a dispatched frame up the stack on the calling
+// worker thread.
+func (s *SteerSource) Inject(t *sim.Thread, m *msg.Message) error {
+	return s.up.Demux(t, m)
+}
+
+var _ xkernel.Wire = (*SteerSource)(nil)

@@ -312,6 +312,12 @@ func specs() []Spec {
 			Run:     runExtLoss,
 		},
 		{
+			ID:      "ext-steer",
+			Figures: "(extension; internal/steer + internal/workload)",
+			Brief:   "Receive-side flow steering: packet-level vs RSS vs Flow Director vs rebalancing under many-connection heavy traffic",
+			Run:     runExtSteer,
+		},
+		{
 			ID:      "ablation-wheel",
 			Figures: "(ablation)",
 			Brief:   "Timing wheel: per-chain locks vs one lock (TCP send)",

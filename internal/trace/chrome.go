@@ -77,10 +77,17 @@ func chromeEvent(e Event) string {
 			args = fmt.Sprintf(`,"args":{"seq":%d,"fast":%d}`, e.Arg, e.Arg2)
 		case EvArrive, EvPredictHit, EvPredictMiss:
 			args = fmt.Sprintf(`,"args":{"seq":%d}`, e.Arg)
+		case EvSteerMigrate:
+			args = fmt.Sprintf(`,"args":{"what":%q,"id":%d,"to_proc":%d}`, e.Name, e.Arg, e.Arg2)
+		case EvFlowEvict:
+			args = fmt.Sprintf(`,"args":{"flow":%d}`, e.Arg)
 		}
-		if e.Kind == EvFault {
+		switch e.Kind {
+		case EvFault:
 			name = "fault " + name
-		} else {
+		case EvSteerMigrate:
+			name = "steer-migrate " + e.Name
+		default:
 			name = e.Kind.String()
 		}
 		return fmt.Sprintf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","cat":%q,"name":%q%s}`,

@@ -56,6 +56,13 @@ const (
 	EvDeliver
 	// EvFault marks a fault-wire injection; Name is the fault kind.
 	EvFault
+	// EvSteerMigrate marks a steering migration: Name is "bucket" for
+	// an indirection-table remap (Arg: bucket index) or "flow" for a
+	// Flow-Director repin (Arg: flow id); Arg2 is the new processor.
+	EvSteerMigrate
+	// EvFlowEvict marks an LRU eviction from the Flow-Director table
+	// (Arg: the evicted flow id).
+	EvFlowEvict
 )
 
 // String names the kind for exports.
@@ -81,6 +88,10 @@ func (k EventKind) String() string {
 		return "deliver"
 	case EvFault:
 		return "fault"
+	case EvSteerMigrate:
+		return "steer-migrate"
+	case EvFlowEvict:
+		return "flow-evict"
 	}
 	return "invalid"
 }
@@ -281,6 +292,25 @@ func (r *Recorder) Fault(proc int, ts int64, kind string) {
 		return
 	}
 	r.push(proc, Event{TS: ts, Kind: EvFault, Name: kind})
+}
+
+// SteerMigrate records a steering migration: what is "bucket" for an
+// indirection-table remap or "flow" for a Flow-Director repin; arg is
+// the bucket index or flow id and to the new processor.
+func (r *Recorder) SteerMigrate(proc int, ts int64, what string, arg, to int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvSteerMigrate, Name: what, Arg: arg, Arg2: to})
+}
+
+// FlowEvict records an LRU eviction of flow from the Flow-Director
+// exact-match table.
+func (r *Recorder) FlowEvict(proc int, ts int64, flow int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvFlowEvict, Arg: flow})
 }
 
 // Procs returns the number of per-processor tracks.

@@ -42,7 +42,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/measure"
 	"repro/internal/sim"
+	"repro/internal/steer"
 	"repro/internal/tcp"
+	"repro/internal/workload"
 )
 
 // Protocol selects the transport under test.
@@ -126,6 +128,71 @@ const (
 	PowerSeries33
 )
 
+// SteeringPolicy selects how arriving packets are dispatched to
+// processors when receive-side flow steering is enabled.
+type SteeringPolicy int
+
+// Steering policies.
+const (
+	// PacketSteering sprays packets round-robin (packet-level
+	// parallelism's implicit dispatch; maximally balanced, affinity-blind).
+	PacketSteering SteeringPolicy = iota
+	// RSSSteering hashes the 4-tuple (Toeplitz) through a static
+	// indirection table.
+	RSSSteering
+	// FlowDirectorSteering consults a bounded exact-match flow table
+	// pinning each flow to the processor that last consumed it, falling
+	// back to RSS on a miss (Intel ATR style).
+	FlowDirectorSteering
+	// RebalanceSteering is RSS plus a dynamic rebalancer that migrates
+	// hash buckets off overloaded processors.
+	RebalanceSteering
+)
+
+// SteerConfig enables and parameterizes receive-side flow steering
+// (UDP receive only). Zero values take the subsystem defaults.
+type SteerConfig struct {
+	Enabled bool
+	Policy  SteeringPolicy
+	// Buckets is the RSS indirection-table size (power of two).
+	Buckets int
+	// FlowTableSize bounds the exact-match flow table; FlowBuckets is
+	// its independently locked bucket count.
+	FlowTableSize int
+	FlowBuckets   int
+	// RingCapacity bounds each processor's dispatch ring; a full ring
+	// drops the arrival.
+	RingCapacity int
+	// RebalancePeriodMs is the monitor's sampling period in virtual ms.
+	RebalancePeriodMs int64
+	// ImbalanceThresholdPct triggers a bucket migration when the
+	// deepest ring exceeds the mean depth by this percentage.
+	ImbalanceThresholdPct int
+	// QuiescenceUs holds the rebalancer after each migration (virtual
+	// µs): longer holds trade reordering for peak imbalance.
+	QuiescenceUs int64
+}
+
+// WorkloadConfig parameterizes the steered many-connection traffic
+// generator. Zero values take the generator defaults.
+type WorkloadConfig struct {
+	// ArrivalGapNs is the mean inter-arrival gap of the open-loop
+	// arrival process, virtual ns.
+	ArrivalGapNs int64
+	// HotConnPct sends this percentage of arrivals to the HotConns
+	// lowest-numbered connections.
+	HotConnPct int
+	HotConns   int
+	// MeanFlowPkts is the mean heavy-tailed flow length before a
+	// connection churns (re-keys its steering identity); 0 disables.
+	MeanFlowPkts int
+	// AppMoveEvery migrates a connection's consuming application
+	// thread every N deliveries (the Wu et al. reordering trigger).
+	AppMoveEvery int
+	// Seed drives the generator (0: derived from the run seed).
+	Seed uint64
+}
+
 // FaultRates sets per-frame fault probabilities for one direction of
 // the fault-injection wire. All rates are in [0, 1].
 type FaultRates struct {
@@ -167,6 +234,11 @@ type Config struct {
 
 	// Faults configures the fault-injection wire (loss experiments).
 	Faults FaultConfig
+
+	// Steer enables receive-side flow steering (UDP receive only) and
+	// Workload shapes its many-connection traffic.
+	Steer    SteerConfig
+	Workload WorkloadConfig
 
 	Layout        Layout
 	LockKind      LockKind
@@ -237,6 +309,30 @@ type Result struct {
 	LockWaitFraction float64
 	// Packets transferred during the last run's measurement interval.
 	Packets int64
+	// ImbalancePct is the delivered-load imbalance across processors,
+	// 100*(max-mean)/mean, over the measurement interval (steered runs).
+	ImbalancePct float64
+	// PeakQueuePct is the worst sampled dispatch-ring imbalance during
+	// the measurement interval (steered runs).
+	PeakQueuePct float64
+	// SteerMigrates counts flow repins and rebalancer bucket moves
+	// during the measurement interval (steered runs).
+	SteerMigrates int64
+	// FlowEvicts counts LRU evictions from the exact-match flow table
+	// during the measurement interval (steered runs).
+	FlowEvicts int64
+	// SteerDrops counts arrivals dropped on full dispatch rings during
+	// the measurement interval (steered runs).
+	SteerDrops int64
+}
+
+// steerResult copies the steering metrics out of an aggregate run.
+func steerResult(r *Result, agg core.RunResult) {
+	r.ImbalancePct = agg.ImbalancePct
+	r.PeakQueuePct = agg.PeakQueuePct
+	r.SteerMigrates = agg.SteerMigrates
+	r.FlowEvicts = agg.FlowEvicts
+	r.SteerDrops = agg.SteerDrops
 }
 
 func (c Config) toCore() (core.Config, error) {
@@ -304,6 +400,39 @@ func (c Config) toCore() (core.Config, error) {
 		Down: driver.FaultRates(c.Faults.Outbound),
 		Seed: c.Faults.FaultSeed,
 	}
+	if c.Steer.Enabled {
+		cfg.Steer = steer.Config{
+			Enabled:               true,
+			Buckets:               c.Steer.Buckets,
+			FlowTableSize:         c.Steer.FlowTableSize,
+			FlowBuckets:           c.Steer.FlowBuckets,
+			LockKind:              cfg.LockKind,
+			RingCapacity:          c.Steer.RingCapacity,
+			RebalancePeriodNs:     c.Steer.RebalancePeriodMs * 1_000_000,
+			ImbalanceThresholdPct: c.Steer.ImbalanceThresholdPct,
+			QuiescenceNs:          c.Steer.QuiescenceUs * 1_000,
+		}
+		switch c.Steer.Policy {
+		case PacketSteering:
+			cfg.Steer.Policy = steer.PolicyPacket
+		case RSSSteering:
+			cfg.Steer.Policy = steer.PolicyRSS
+		case FlowDirectorSteering:
+			cfg.Steer.Policy = steer.PolicyFlowDirector
+		case RebalanceSteering:
+			cfg.Steer.Policy = steer.PolicyRebalance
+		default:
+			return cfg, fmt.Errorf("parnet: unknown steering policy %d", c.Steer.Policy)
+		}
+		cfg.Workload = workload.Config{
+			ArrivalGapNs: c.Workload.ArrivalGapNs,
+			HotConnPct:   c.Workload.HotConnPct,
+			HotConns:     c.Workload.HotConns,
+			MeanFlowPkts: c.Workload.MeanFlowPkts,
+			AppMoveEvery: c.Workload.AppMoveEvery,
+			Seed:         c.Workload.Seed,
+		}
+	}
 	return cfg, nil
 }
 
@@ -332,7 +461,7 @@ func Run(c Config) (Result, error) {
 		return Result{}, err
 	}
 	sum, agg := sums[0], aggs[0]
-	return Result{
+	res := Result{
 		Mbps:              sum.Mean,
 		CI90:              sum.CI90,
 		Samples:           sum.Samples,
@@ -340,7 +469,9 @@ func Run(c Config) (Result, error) {
 		WireOutOfOrderPct: agg.WireOOOPct,
 		LockWaitFraction:  agg.LockWaitFrac,
 		Packets:           agg.Packets,
-	}, nil
+	}
+	steerResult(&res, agg)
+	return res, nil
 }
 
 // ProfileRun measures one run of the configuration and additionally
@@ -376,6 +507,7 @@ func ProfileRun(c Config) (Result, string, error) {
 		LockWaitFraction:  rr.LockWaitFrac,
 		Packets:           rr.Packets,
 	}
+	steerResult(&res, rr)
 	return res, st.ProfileReport(), nil
 }
 
@@ -423,6 +555,7 @@ func Sweep(c Config, maxProcs int) ([]Result, error) {
 			LockWaitFraction:  aggs[i].LockWaitFrac,
 			Packets:           aggs[i].Packets,
 		}
+		steerResult(&out[i], aggs[i])
 	}
 	return out, nil
 }

@@ -212,3 +212,41 @@ func TestProfileRun(t *testing.T) {
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && strings.Contains(s, sub)
 }
+
+func TestRunSteered(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.Side = Receive
+	cfg.Processors = 4
+	cfg.Connections = 64
+	cfg.PacketSize = 1024
+	cfg.Steer = SteerConfig{Enabled: true, Policy: FlowDirectorSteering}
+	cfg.Workload = WorkloadConfig{
+		ArrivalGapNs: 40_000, HotConnPct: 50, HotConns: 4,
+		MeanFlowPkts: 64, AppMoveEvery: 128,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mbps < 10 {
+		t.Fatalf("steered throughput = %.1f Mb/s", res.Mbps)
+	}
+	if res.SteerMigrates == 0 {
+		t.Error("expected flow repins under app migration")
+	}
+	if res.FlowEvicts == 0 {
+		t.Error("expected flow-table evictions with 64 churning connections")
+	}
+
+	cfg.Steer.Enabled = false
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("unsteered twin failed: %v", err)
+	}
+
+	bad := cfg
+	bad.Steer = SteerConfig{Enabled: true}
+	bad.Side = Send
+	if _, err := Run(bad); err == nil {
+		t.Error("steering on the send side should be rejected")
+	}
+}
