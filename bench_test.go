@@ -141,6 +141,10 @@ func BenchmarkExtLoss(b *testing.B) { runSpec(b, "ext-loss") }
 // many-connection heavy-traffic workload.
 func BenchmarkExtSteer(b *testing.B) { runSpec(b, "ext-steer") }
 
+// Extension: receive-side GRO batching — batch size x lock kind x skew,
+// plus the combined steering + batching ladder.
+func BenchmarkExtBatch(b *testing.B) { runSpec(b, "ext-batch") }
+
 // Ablations beyond the paper's own figures (DESIGN.md section 6).
 func BenchmarkAblationFIFOKind(b *testing.B)         { runSpec(b, "ablation-fifo") }
 func BenchmarkAblationMapCache(b *testing.B)         { runSpec(b, "ablation-mapcache") }

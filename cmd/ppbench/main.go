@@ -41,6 +41,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
 		procs    = flag.Int("procs", 0, "host worker threads to fan simulation points across (0 = GOMAXPROCS); output is identical for every value")
 		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
+		batch    = flag.String("batch", "", "ext-batch: comma-separated batch sizes (MaxSegs), e.g. 1,4,8,16; 1 means batching off")
 		jsonOut  = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
 		benchOut = flag.String("bench", "", "run the host wall-clock benchmark suite and write the report to FILE ('-' for stdout)")
 		baseline = flag.String("baseline", "", "with -bench: compare against this baseline report, exit non-zero if a sweep regresses")
@@ -76,6 +77,16 @@ func main() {
 				os.Exit(2)
 			}
 			p.LossRates = append(p.LossRates, r)
+		}
+	}
+	if *batch != "" {
+		for _, f := range strings.Split(*batch, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "ppbench: bad -batch size %q (want integers >= 1)\n", f)
+				os.Exit(2)
+			}
+			p.BatchSizes = append(p.BatchSizes, n)
 		}
 	}
 

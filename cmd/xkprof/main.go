@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/steer"
 	"repro/internal/tcp"
@@ -55,6 +56,12 @@ func main() {
 		flowPkts = flag.Int("flowpkts", 0, "steered workload: mean flow length before connection churn (0: no churn)")
 		appMove  = flag.Int("appmove", 0, "steered workload: migrate a connection's app thread every N deliveries (0: never)")
 		quiesce  = flag.Int64("quiesce", 0, "rebalancer quiescence hold after a bucket migration, virtual ns")
+
+		// Receive-side GRO batching.
+		batch      = flag.Bool("batch", false, "coalesce consecutive same-flow in-order segments (receive side)")
+		batchSegs  = flag.Int("batchsegs", 0, "batching: max segments merged per frame (0: default 8)")
+		batchBytes = flag.Int("batchbytes", 0, "batching: max merged frame bytes (0: default 8192)")
+		batchFlush = flag.Int64("batchflush", 0, "batching: pending-merge flush timeout, virtual ns (0: default 50000)")
 	)
 	flag.Parse()
 
@@ -128,6 +135,14 @@ func main() {
 		cfg.Workload.MeanFlowPkts = *flowPkts
 		cfg.Workload.AppMoveEvery = *appMove
 	}
+	if *batch {
+		cfg.Batch = msg.BatchConfig{
+			Enabled:        true,
+			MaxSegs:        *batchSegs,
+			MaxBytes:       *batchBytes,
+			FlushTimeoutNs: *batchFlush,
+		}
+	}
 	cfg.Procs = *procs
 	cfg.Connections = *conns
 	cfg.PacketSize = *size
@@ -163,6 +178,10 @@ func main() {
 	if cfg.Steer.Enabled {
 		fmt.Printf("Steering:   imbalance %.1f%% (peak queue %.1f%%), %d migrations, %d flow evictions, %d ring drops\n",
 			res.ImbalancePct, res.PeakQueuePct, res.SteerMigrates, res.FlowEvicts, res.SteerDrops)
+	}
+	if cfg.Batch.Active() {
+		fmt.Printf("Batching:   %.2f segs/frame (%d segments in %d merged frames)\n",
+			res.BatchSegsPerFrame, res.BatchSegs, res.BatchFrames)
 	}
 	fmt.Println()
 	fmt.Print(st.ProfileReport())

@@ -40,3 +40,7 @@ func BenchmarkHostMsgAllocFree(b *testing.B) { hostMicro(b, "msg-alloc-free") }
 
 // Message clone/free (refcounted view sharing).
 func BenchmarkHostMsgCloneFree(b *testing.B) { hostMicro(b, "msg-clone-free") }
+
+// The GRO merge hot path (Absorb into a grow-room head); must stay at
+// 0 allocs/op — enforced by TestMergeAbsorbZeroAllocs.
+func BenchmarkHostMsgMergeAbsorb(b *testing.B) { hostMicro(b, "msg-merge-absorb") }

@@ -36,9 +36,16 @@ func NewSink(ordered bool, seq *sim.Sequencer) *Sink {
 	return s
 }
 
-// Receive counts one delivered message and frees it.
+// Receive counts one delivered message and frees it. A GRO-merged
+// frame counts as all the wire segments it carries: the application
+// still does per-segment work (charged below), batching only amortized
+// the protocol-layer and locking costs on the way up.
 func (s *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 	t.ChargeRand(t.Engine().C.Stack.AppRecv)
+	segs := int64(m.SegCount())
+	for i := int64(1); i < segs; i++ {
+		t.ChargeRand(t.Engine().C.Stack.AppRecv)
+	}
 	// Interference between the transport and the application: under
 	// ticketing, a delayed ticket holder stalls every thread behind it
 	// (they park in Wait and stop fetching packets), which is where the
@@ -55,7 +62,7 @@ func (s *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 		first = m.Bytes()[0]
 	}
 	s.lock.Acquire(t)
-	s.pkts++
+	s.pkts += segs
 	s.bytes += int64(n)
 	s.LastFirstByte = first
 	s.lock.Release(t)

@@ -125,6 +125,13 @@ type Config struct {
 	// Strategy selects the parallelization strategy (Section 1):
 	// packet-level (default), connection-level, or layered.
 	Strategy Strategy
+	// Batch enables receive-side GRO-style coalescing: consecutive
+	// same-flow in-order segments merge into one frame before protocol
+	// input, so the layers above — TCP's state lock in particular —
+	// run once per batch instead of once per packet. Receive side,
+	// packet-level strategy only. Disabled (or MaxSegs 1) leaves every
+	// path byte-identical to an unbatched build.
+	Batch msg.BatchConfig
 	// Steer enables the receive-side flow-steering subsystem
 	// (internal/steer): a dispatcher thread steers generated arrivals
 	// onto per-processor rings instead of the fixed conn==proc pump
@@ -207,6 +214,12 @@ type Stack struct {
 	steerQs    []*sim.Queue
 	steerDrops int64
 
+	// Batching accounting (engine-serialized): merged frames injected
+	// and the wire segments they carried. Zero when batching is off.
+	batchOn     bool
+	batchFrames int64
+	batchSegs   int64
+
 	steerHashCaches []steerHashCache
 
 	// Alternative-strategy plumbing (strategy.go).
@@ -236,7 +249,11 @@ func Build(cfg Config) (*Stack, error) {
 	if err := validateSteer(&cfg); err != nil {
 		return nil, err
 	}
+	if err := validateBatch(&cfg); err != nil {
+		return nil, err
+	}
 	s := &Stack{Cfg: cfg}
+	s.batchOn = cfg.Batch.Active()
 	s.Eng = sim.New(cost.NewModel(cfg.Machine), cfg.Seed+1)
 	if cfg.Trace {
 		// procs+2 tracks: pumps plus the control and event threads.
@@ -549,10 +566,22 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 			}
 			t.Yield()
 		case cfg.Proto == ProtoUDP && cfg.Side == SideRecv:
-			err = s.udpSrc.Pump(t, c)
+			if s.batchOn {
+				var segs int
+				segs, err = s.udpSrc.PumpBatch(t, c, cfg.Batch)
+				s.noteBatch(segs)
+			} else {
+				err = s.udpSrc.Pump(t, c)
+			}
 		default:
 			var ok bool
-			ok, err = s.tcpSend.Pump(t, c, &s.stop)
+			if s.batchOn {
+				var segs int
+				segs, ok, err = s.tcpSend.PumpBatch(t, c, &s.stop, cfg.Batch)
+				s.noteBatch(segs)
+			} else {
+				ok, err = s.tcpSend.Pump(t, c, &s.stop)
+			}
 			if !ok {
 				return
 			}
@@ -602,6 +631,13 @@ type RunResult struct {
 	// SteerDrops counts arrivals dropped on a full dispatch ring
 	// during the measurement interval.
 	SteerDrops int64
+	// BatchFrames counts merged frames injected during the measurement
+	// interval (batching runs only; a one-segment flush still counts).
+	BatchFrames int64
+	// BatchSegs counts the wire segments those frames carried.
+	BatchSegs int64
+	// BatchSegsPerFrame is the coalescing ratio BatchSegs/BatchFrames.
+	BatchSegsPerFrame float64
 }
 
 // Run drives the workload: setup, warm-up, a timed measurement
@@ -665,12 +701,14 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 		pk0, oo0, wo0, ws0 := s.snapshotOrder()
 		w0 := s.stateLockWait()
 		sm0 := s.steerSnapshot()
+		bf0, bs0 := s.batchFrames, s.batchSegs
 		t0 := t.Now()
 		t.Sleep(measureNs)
 		b1 := s.Bytes()
 		pk1, oo1, wo1, ws1 := s.snapshotOrder()
 		w1 := s.stateLockWait()
 		sm1 := s.steerSnapshot()
+		bf1, bs1 := s.batchFrames, s.batchSegs
 		elapsed := t.Now() - t0
 
 		res.Mbps = float64(b1-b0) * 8 * 1e3 / float64(elapsed)
@@ -686,6 +724,11 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 		}
 		if elapsed > 0 {
 			res.LockWaitFrac = float64(w1-w0) / float64(elapsed*int64(cfg.Procs))
+		}
+		res.BatchFrames = bf1 - bf0
+		res.BatchSegs = bs1 - bs0
+		if res.BatchFrames > 0 {
+			res.BatchSegsPerFrame = float64(res.BatchSegs) / float64(res.BatchFrames)
 		}
 		applySteerMetrics(&res, sm0, sm1)
 	})
@@ -771,6 +814,8 @@ func AggregateRuns(rrs []RunResult) (measure.Result, RunResult) {
 		agg.SteerMigrates += res.SteerMigrates
 		agg.FlowEvicts += res.FlowEvicts
 		agg.SteerDrops += res.SteerDrops
+		agg.BatchFrames += res.BatchFrames
+		agg.BatchSegs += res.BatchSegs
 	}
 	n := float64(len(rrs))
 	agg.Mbps /= n
@@ -779,6 +824,9 @@ func AggregateRuns(rrs []RunResult) (measure.Result, RunResult) {
 	agg.LockWaitFrac /= n
 	agg.ImbalancePct /= n
 	agg.PeakQueuePct /= n
+	if agg.BatchFrames > 0 {
+		agg.BatchSegsPerFrame = float64(agg.BatchSegs) / float64(agg.BatchFrames)
+	}
 	return measure.Summarize(samples), agg
 }
 

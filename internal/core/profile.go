@@ -149,6 +149,16 @@ func (s *Stack) ProfileReport() string {
 				pkts, ooo, 100*float64(ooo)/float64(pkts))
 		}
 	}
+	if s.batchOn {
+		fmt.Fprintf(&b, "\nBatching (max %d segs / %d bytes, flush %d ns):\n",
+			s.Cfg.Batch.MaxSegs, s.Cfg.Batch.MaxBytes, s.Cfg.Batch.FlushTimeoutNs)
+		spf := 0.0
+		if s.batchFrames > 0 {
+			spf = float64(s.batchSegs) / float64(s.batchFrames)
+		}
+		fmt.Fprintf(&b, "  %d merged frames carrying %d wire segments (%.2f segs/frame)\n",
+			s.batchFrames, s.batchSegs, spf)
+	}
 	if s.Rec != nil {
 		b.WriteString(s.traceSection())
 	}

@@ -125,8 +125,13 @@ func (s *Stack) runSteer() {
 
 // steerDispatch is the NIC thread: open-loop arrivals, frame
 // production, steering decision, ring enqueue. A full ring drops the
-// frame, as a real adaptor ring would.
+// frame, as a real adaptor ring would. Under batching the coalescing
+// variant runs instead (batch.go).
 func (s *Stack) steerDispatch(t *sim.Thread) {
+	if s.batchOn {
+		s.steerDispatchBatch(t)
+		return
+	}
 	for !s.stop.Get() {
 		a := s.steerGen.Next()
 		t.SleepUntil(a.At)
@@ -148,19 +153,35 @@ func (s *Stack) steerDispatch(t *sim.Thread) {
 
 // steerWorker is processor p's protocol thread: it drains p's dispatch
 // ring and shepherds each frame up the stack (thread-per-packet above
-// the dispatch point).
+// the dispatch point). Under batching a wakeup drains up to MaxSegs
+// frames before blocking again, amortizing the wakeup across the ring's
+// backlog.
 func (s *Stack) steerWorker(t *sim.Thread, p int) {
+	maxDrain := 1
+	if s.batchOn {
+		maxDrain = s.Cfg.Batch.MaxSegs
+	}
 	for {
 		item, ok := s.steerQs[p].Dequeue(t)
 		if !ok {
 			return
 		}
-		if err := s.steerSrc.Inject(t, item.(*msg.Message)); err != nil {
-			// Fault-injected frames may fail to parse; that is the
-			// fault wire doing its job. Anything else is a bug.
-			if !s.Cfg.Faults.Enabled() && !s.stop.Get() {
-				panic(fmt.Sprintf("core: steer worker %d: %v", p, err))
+		for n := 1; ; n++ {
+			if err := s.steerSrc.Inject(t, item.(*msg.Message)); err != nil {
+				// Fault-injected frames may fail to parse; that is the
+				// fault wire doing its job. Anything else is a bug.
+				if !s.Cfg.Faults.Enabled() && !s.stop.Get() {
+					panic(fmt.Sprintf("core: steer worker %d: %v", p, err))
+				}
 			}
+			if n >= maxDrain {
+				break
+			}
+			next, ok2 := s.steerQs[p].TryDequeue(t)
+			if !ok2 {
+				break
+			}
+			item = next
 		}
 	}
 }

@@ -1,0 +1,179 @@
+// Receive-side GRO-style coalescing: merge helpers that fold a donor
+// frame's transport payload into the tail of a head frame, and batched
+// pump loops for the non-steered receive drivers. The merged frame
+// stays a valid wire frame — the IP total length grows and its header
+// checksum is rebuilt so ip.Demux still verifies — and carries the
+// segment count on the head view (msg.Message.Segs) so the layers
+// above can account for every coalesced wire segment.
+package driver
+
+import (
+	"encoding/binary"
+
+	"repro/internal/chksum"
+	"repro/internal/ip"
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// batchGrow returns the extra tail space to allocate for a merged
+// frame's head so up to MaxSegs payloads fit, capped by MaxBytes and
+// the largest buffer class.
+func batchGrow(frameLen, payload int, bc msg.BatchConfig) int {
+	max := bc.MaxBytes
+	if max <= 0 || max > msg.MaxClassBytes {
+		max = msg.MaxClassBytes
+	}
+	g := (bc.MaxSegs - 1) * payload
+	if frameLen+g > max {
+		g = max - frameLen
+	}
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// growIPLen extends a frame's IP total length by n and rebuilds the
+// header checksum (ip.Demux drops frames whose header does not verify).
+func growIPLen(frame []byte, n int) {
+	totLen := binary.BigEndian.Uint16(frame[offIP+2:offIP+4]) + uint16(n)
+	binary.BigEndian.PutUint16(frame[offIP+2:offIP+4], totLen)
+	frame[offIP+10], frame[offIP+11] = 0, 0
+	ck := chksum.Sum(frame[offIP : offIP+ip.HdrLen])
+	binary.BigEndian.PutUint16(frame[offIP+10:offIP+12], ck)
+}
+
+// MergeUDP absorbs donor's UDP payload into head (both full frames of
+// the same flow), patching head's IP and UDP lengths. The caller must
+// have checked capacity (head.Tailroom() and the batch caps); donor is
+// consumed on success and must be flushed separately on failure.
+func MergeUDP(t *sim.Thread, head, donor *msg.Message) error {
+	n := donor.Len() - udpFrameHdr
+	if n < 0 {
+		return msg.ErrNoRoom
+	}
+	if err := donor.TrimFront(t, udpFrameHdr); err != nil {
+		return err
+	}
+	if err := head.Absorb(t, donor); err != nil {
+		return err
+	}
+	hb := head.Bytes()
+	growIPLen(hb, n)
+	udpLen := binary.BigEndian.Uint16(hb[offUDP+4:offUDP+6]) + uint16(n)
+	binary.BigEndian.PutUint16(hb[offUDP+4:offUDP+6], udpLen)
+	t.Engine().Rec.BatchMerge(t.Proc, t.Now(), int64(head.SegCount()))
+	return nil
+}
+
+// MergeTCP absorbs donor's TCP payload into head. The head keeps its
+// sequence number: the merged frame is one fatter in-order segment, so
+// the caller must only merge when donor.Seq continues head's run.
+func MergeTCP(t *sim.Thread, head, donor *msg.Message) error {
+	n := donor.Len() - tcpFrameHdr
+	if n < 0 {
+		return msg.ErrNoRoom
+	}
+	if err := donor.TrimFront(t, tcpFrameHdr); err != nil {
+		return err
+	}
+	if err := head.Absorb(t, donor); err != nil {
+		return err
+	}
+	growIPLen(head.Bytes(), n)
+	t.Engine().Rec.BatchMerge(t.Proc, t.Now(), int64(head.SegCount()))
+	return nil
+}
+
+// PumpBatch produces up to bc.MaxSegs same-connection datagrams merged
+// into one frame and shepherds it up the stack. Returns the number of
+// wire segments the injected frame carries.
+func (s *UDPSource) PumpBatch(t *sim.Thread, conn int, bc msg.BatchConfig) (int, error) {
+	tmpl := s.tmpl[conn%len(s.tmpl)]
+	payload := len(tmpl) - udpFrameHdr
+	m, err := s.produce(t, conn, batchGrow(len(tmpl), payload, bc))
+	if err != nil {
+		return 0, err
+	}
+	segs := 1
+	for segs < bc.MaxSegs && payload > 0 &&
+		m.Len()+payload <= bc.MaxBytes && m.Tailroom() >= payload {
+		d, err := s.produce(t, conn, 0)
+		if err != nil {
+			m.Free(t)
+			return 0, err
+		}
+		if err := MergeUDP(t, m, d); err != nil {
+			d.Free(t)
+			m.Free(t)
+			return 0, err
+		}
+		segs++
+	}
+	reason := "maxbytes"
+	if segs == bc.MaxSegs {
+		reason = "maxsegs"
+	}
+	t.Engine().Rec.BatchFlush(t.Proc, t.Now(), reason, int64(segs), int64(m.Len()))
+	return segs, s.up.Demux(t, m)
+}
+
+// PumpBatch produces up to bc.MaxSegs in-sequence segments for conn,
+// merges the contiguous run into one frame and injects it — one state-
+// lock acquisition at TCP for the whole run. A segment whose sequence
+// does not continue the run (another processor claimed the offsets in
+// between) flushes the batch and is injected separately. Returns the
+// merged frame's segment count and false when stopped before
+// producing.
+func (d *SimTCPSender) PumpBatch(t *sim.Thread, conn int, stop *sim.Flag, bc msg.BatchConfig) (int, bool, error) {
+	c := d.conns[conn]
+	m, ok, err := d.produce(t, conn, stop, batchGrow(len(c.tmpl), d.payload, bc))
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	segs := 1
+	reason := "window"
+	var stray *msg.Message
+	for {
+		if segs >= bc.MaxSegs {
+			reason = "maxsegs"
+			break
+		}
+		if m.Len()+d.payload > bc.MaxBytes || m.Tailroom() < d.payload {
+			reason = "maxbytes"
+			break
+		}
+		n, ok2, err2 := d.TryProduce(t, conn)
+		if err2 != nil {
+			m.Free(t)
+			return 0, false, err2
+		}
+		if !ok2 {
+			break
+		}
+		if n.Seq != m.Seq+uint64(m.Len()-tcpFrameHdr) {
+			reason = "seq"
+			stray = n
+			break
+		}
+		if err2 := MergeTCP(t, m, n); err2 != nil {
+			n.Free(t)
+			m.Free(t)
+			return 0, false, err2
+		}
+		segs++
+	}
+	t.Engine().Rec.BatchFlush(t.Proc, t.Now(), reason, int64(segs), int64(m.Len()))
+	if err := d.Inject(t, m); err != nil {
+		if stray != nil {
+			stray.Free(t)
+		}
+		return segs, true, err
+	}
+	if stray != nil {
+		t.Engine().Rec.BatchFlush(t.Proc, t.Now(), "seq", 1, int64(stray.Len()))
+		return segs, true, d.Inject(t, stray)
+	}
+	return segs, true, nil
+}

@@ -50,10 +50,22 @@ func (s *SteerSource) TX(t *sim.Thread, m *msg.Message) error {
 // injected — the steering decision picks the processor whose worker
 // will Inject it.
 func (s *SteerSource) Produce(t *sim.Thread, a workload.Arrival) (*msg.Message, error) {
+	return s.ProduceGrow(t, a, 0)
+}
+
+// ProduceGrow is Produce with grow bytes of tailroom reserved for GRO
+// merging when the frame becomes a batch head.
+func (s *SteerSource) ProduceGrow(t *sim.Thread, a workload.Arrival, grow int) (*msg.Message, error) {
 	tmpl := s.tmpl[a.Conn%len(s.tmpl)]
-	m, err := s.alloc.New(t, len(tmpl), 0)
+	m, err := s.alloc.New(t, len(tmpl)+grow, 0)
 	if err != nil {
 		return nil, fmt.Errorf("driver: steer source: %w", err)
+	}
+	if grow > 0 {
+		if err := m.TrimBack(t, grow); err != nil {
+			m.Free(t)
+			return nil, err
+		}
 	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.DriverRXGen)
@@ -65,6 +77,24 @@ func (s *SteerSource) Produce(t *sim.Thread, a workload.Arrival) (*msg.Message, 
 	m.Born = t.Now()
 	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(a.Conn))
 	return m, nil
+}
+
+// PayloadLen returns connection conn's UDP payload size — the unit a
+// merged frame grows by per coalesced segment.
+func (s *SteerSource) PayloadLen(conn int) int {
+	return len(s.tmpl[conn%len(s.tmpl)]) - udpFrameHdr
+}
+
+// FrameLen returns connection conn's full template frame length.
+func (s *SteerSource) FrameLen(conn int) int {
+	return len(s.tmpl[conn%len(s.tmpl)])
+}
+
+// BatchGrow exposes the head-frame tailroom reservation for conn under
+// the given batch configuration (the core dispatcher's allocation
+// decision).
+func (s *SteerSource) BatchGrow(conn int, bc msg.BatchConfig) int {
+	return batchGrow(s.FrameLen(conn), s.PayloadLen(conn), bc)
 }
 
 // Inject shepherds a dispatched frame up the stack on the calling

@@ -163,6 +163,12 @@ func (d *SimTCPSender) TX(t *sim.Thread, m *msg.Message) error {
 // packet-level parallelism, or after a thread handoff for the
 // connection-level and layered strategies.
 func (d *SimTCPSender) Produce(t *sim.Thread, conn int, stop *sim.Flag) (*msg.Message, bool, error) {
+	return d.produce(t, conn, stop, 0)
+}
+
+// produce is Produce with grow bytes of tailroom reserved on the built
+// frame for GRO merging.
+func (d *SimTCPSender) produce(t *sim.Thread, conn int, stop *sim.Flag, grow int) (*msg.Message, bool, error) {
 	c := d.conns[conn]
 	ps := uint32(d.payload)
 	waited := int64(0)
@@ -192,7 +198,7 @@ func (d *SimTCPSender) Produce(t *sim.Thread, conn int, stop *sim.Flag) (*msg.Me
 		t.Sleep(200_000)
 		waited += 200_000
 	}
-	return d.build(t, c, ps)
+	return d.build(t, c, ps, grow)
 }
 
 // Rexmts reports FaultRecovery resends: (duplicate-ack triggered,
@@ -243,17 +249,24 @@ func (d *SimTCPSender) TryProduce(t *sim.Thread, conn int) (*msg.Message, bool, 
 	if outstanding+ps > c.rcvWnd {
 		return nil, false, nil
 	}
-	return d.build(t, c, ps)
+	return d.build(t, c, ps, 0)
 }
 
-// build allocates the packet and stamps its sequence number.
-func (d *SimTCPSender) build(t *sim.Thread, c *simSendConn, ps uint32) (*msg.Message, bool, error) {
+// build allocates the packet and stamps its sequence number, holding
+// grow bytes of tailroom back for GRO merging.
+func (d *SimTCPSender) build(t *sim.Thread, c *simSendConn, ps uint32, grow int) (*msg.Message, bool, error) {
 	off := uint32(c.next.Add(t, int64(ps)))
 	seq := c.iss + 1 + off
 
-	m, err := d.alloc.New(t, len(c.tmpl), 0)
+	m, err := d.alloc.New(t, len(c.tmpl)+grow, 0)
 	if err != nil {
 		return nil, false, err
+	}
+	if grow > 0 {
+		if err := m.TrimBack(t, grow); err != nil {
+			m.Free(t)
+			return nil, false, err
+		}
 	}
 	st := &t.Engine().C.Stack
 	d.ring.Acquire(t)

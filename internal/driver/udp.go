@@ -88,13 +88,19 @@ func (s *UDPSource) TX(t *sim.Thread, m *msg.Message) error {
 	return nil
 }
 
-// Pump produces one packet for connection conn and shepherds it up the
-// stack on the calling thread (thread-per-packet).
-func (s *UDPSource) Pump(t *sim.Thread, conn int) error {
+// produce builds one template frame, with grow bytes of tailroom held
+// back for GRO merging (zero on the unbatched path).
+func (s *UDPSource) produce(t *sim.Thread, conn, grow int) (*msg.Message, error) {
 	tmpl := s.tmpl[conn%len(s.tmpl)]
-	m, err := s.alloc.New(t, len(tmpl), 0)
+	m, err := s.alloc.New(t, len(tmpl)+grow, 0)
 	if err != nil {
-		return fmt.Errorf("driver: udp source: %w", err)
+		return nil, fmt.Errorf("driver: udp source: %w", err)
+	}
+	if grow > 0 {
+		if err := m.TrimBack(t, grow); err != nil {
+			m.Free(t)
+			return nil, err
+		}
 	}
 	st := &t.Engine().C.Stack
 	s.ring.Acquire(t)
@@ -103,11 +109,21 @@ func (s *UDPSource) Pump(t *sim.Thread, conn int) error {
 	t.ChargeRand(st.DriverRXGen)
 	if err := m.CopyTemplate(0, tmpl); err != nil {
 		m.Free(t)
-		return err
+		return nil, err
 	}
 	t.Interfere()
 	m.Born = t.Now()
 	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(conn))
+	return m, nil
+}
+
+// Pump produces one packet for connection conn and shepherds it up the
+// stack on the calling thread (thread-per-packet).
+func (s *UDPSource) Pump(t *sim.Thread, conn int) error {
+	m, err := s.produce(t, conn, 0)
+	if err != nil {
+		return err
+	}
 	return s.up.Demux(t, m)
 }
 

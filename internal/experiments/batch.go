@@ -1,0 +1,149 @@
+package experiments
+
+// ext-batch: receive-side GRO batching. The paper's receive stacks pay
+// the TCP connection-state lock once per wire segment, which is exactly
+// the serialization Section 3.1 profiles; modern NICs instead coalesce
+// consecutive same-flow in-order segments into one merged frame (GRO /
+// LRO), so the lock — and every other per-packet layer cost — is paid
+// once per batch. These points sweep the batch size against the lock
+// kind (the unfair spin mutex vs FIFO MCS) and against traffic skew,
+// and pair batching with the ext-steer flow-steering policies: affinity
+// concentrates a flow's arrivals, which is what gives the coalescer
+// runs to merge.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/steer"
+)
+
+// batchLadder is the swept MaxSegs family; 1 disables batching (the
+// paper-faithful per-packet baseline).
+func batchLadder(p Params) []int {
+	if len(p.BatchSizes) > 0 {
+		return p.BatchSizes
+	}
+	return []int{1, 4, 8}
+}
+
+// batchedTCPRecv configures one single-connection TCP receive point —
+// the regime where every processor contends on one state lock — at the
+// given lock kind and batch size.
+func batchedTCPRecv(kind sim.LockKind, maxSegs int) core.Config {
+	cfg := baselineTCP(core.SideRecv)
+	cfg.PacketSize = 1024
+	cfg.Checksum = true
+	cfg.LockKind = kind
+	if maxSegs > 1 {
+		cfg.Batch = msg.BatchConfig{Enabled: true, MaxSegs: maxSegs}
+	}
+	return cfg
+}
+
+func runExtBatch(p Params) ([]measure.Table, error) {
+	// Family 1: batch size x lock kind, single shared connection. The
+	// lock-wait share should fall as the batch grows (one acquisition
+	// covers the whole batch), and the unfair mutex should gain more
+	// than MCS — batching removes the very handoffs the spin lock
+	// reorders.
+	var labels []string
+	var futs [][]*pointFuture
+	for _, kind := range []sim.LockKind{sim.KindMutex, sim.KindMCS} {
+		for _, segs := range batchLadder(p) {
+			labels = append(labels, fmt.Sprintf("%v, batch %d", kind, segs))
+			futs = append(futs, submitSweep(batchedTCPRecv(kind, segs), p, p.MaxProcs))
+		}
+	}
+
+	// Family 2: batch size x skew, one connection per processor. The
+	// sender interleaves connections, so skew onto a hot connection is
+	// what creates same-flow runs for the coalescer — and also what
+	// recreates the shared-lock bottleneck batching amortizes.
+	var skewLabels []string
+	var skewFuts [][]*pointFuture
+	for _, hot := range []int{0, 50} {
+		for _, segs := range []int{1, 8} {
+			cfg := batchedTCPRecv(sim.KindMCS, segs)
+			cfg.Connections = 2 // sentinel: submitSweep sets Connections = procs
+			cfg.HotConnPct = hot
+			skewLabels = append(skewLabels, fmt.Sprintf("%d%% hot, batch %d", hot, segs))
+			skewFuts = append(skewFuts, submitSweep(cfg, p, p.MaxProcs))
+		}
+	}
+
+	// Combined steer+batch: the ext-steer skewed many-connection
+	// workload at MaxProcs, with the dispatcher coalescing before the
+	// steering decision. Single points per (policy, batch) pair.
+	comboPolicies := []steer.Policy{steer.PolicyPacket, steer.PolicyFlowDirector}
+	var comboLabels []string
+	var comboFuts []*pointFuture
+	for _, pol := range comboPolicies {
+		for _, segs := range []int{1, 8} {
+			cfg := steerSkew(steeredUDP(pol, 256))
+			cfg.Procs = p.MaxProcs
+			cfg.Seed = p.Seed
+			cfg.Workload.ArrivalGapNs = steerGapNs / int64(p.MaxProcs)
+			if segs > 1 {
+				cfg.Batch = msg.BatchConfig{Enabled: true, MaxSegs: segs}
+			}
+			comboLabels = append(comboLabels, fmt.Sprintf("%v, batch %d", pol, segs))
+			comboFuts = append(comboFuts, submitPoint(cfg, p))
+		}
+	}
+
+	series, err := awaitAll(labels, futs)
+	if err != nil {
+		return nil, err
+	}
+	var waitSeries []measure.Series
+	for i, fs := range futs {
+		s, err := awaitAggSeries(labels[i], fs,
+			func(rr core.RunResult) float64 { return 100 * rr.LockWaitFrac })
+		if err != nil {
+			return nil, err
+		}
+		waitSeries = append(waitSeries, s)
+	}
+	skewSeries, err := awaitAll(skewLabels, skewFuts)
+	if err != nil {
+		return nil, err
+	}
+
+	comboMbps := measure.Series{Label: "Mbit/s"}
+	comboSegs := measure.Series{Label: "segs/frame"}
+	comboTitle := "Extension: steering + batching combined (skewed 256-conn UDP at max procs)"
+	for i, f := range comboFuts {
+		pv, err := f.wait()
+		if err != nil {
+			return nil, err
+		}
+		comboMbps.X = append(comboMbps.X, i+1)
+		comboMbps.Points = append(comboMbps.Points, pv.res)
+		comboSegs.X = append(comboSegs.X, i+1)
+		comboSegs.Points = append(comboSegs.Points, measure.Result{Mean: pv.agg.BatchSegsPerFrame})
+		comboTitle += fmt.Sprintf(" | x=%d: %s", i+1, comboLabels[i])
+	}
+
+	return []measure.Table{
+		{
+			Title:  "Extension: batched TCP receive, batch size x lock kind (1KB, one connection)",
+			XLabel: "procs", YLabel: "Mbit/s", Series: series,
+		},
+		{
+			Title:  "Extension: state-lock wait share under batching (% of processor time)",
+			XLabel: "procs", YLabel: "lock wait %", Series: waitSeries,
+		},
+		{
+			Title:  "Extension: batched TCP receive under skew (MCS, one connection per processor)",
+			XLabel: "procs", YLabel: "Mbit/s", Series: skewSeries,
+		},
+		{
+			Title:  comboTitle,
+			XLabel: "ladder", Series: []measure.Series{comboMbps, comboSegs},
+		},
+	}, nil
+}

@@ -27,6 +27,9 @@ type Params struct {
 	// LossRates overrides the ext-loss ladder (default {0, 0.001,
 	// 0.01, 0.05}); other experiments ignore it.
 	LossRates []float64
+	// BatchSizes overrides the ext-batch MaxSegs ladder (default
+	// {1, 4, 8}; 1 means batching off); other experiments ignore it.
+	BatchSizes []int
 	// Workers bounds the host OS threads the runner fans independent
 	// simulation points across (0 means GOMAXPROCS). Results are
 	// byte-identical for every value — see pool.go.
@@ -316,6 +319,12 @@ func specs() []Spec {
 			Figures: "(extension; internal/steer + internal/workload)",
 			Brief:   "Receive-side flow steering: packet-level vs RSS vs Flow Director vs rebalancing under many-connection heavy traffic",
 			Run:     runExtSteer,
+		},
+		{
+			ID:      "ext-batch",
+			Figures: "(extension; receive-side GRO batching)",
+			Brief:   "Receive-side segment coalescing: batch size vs lock kind vs skew, plus steering + batching combined",
+			Run:     runExtBatch,
 		},
 		{
 			ID:      "ablation-wheel",

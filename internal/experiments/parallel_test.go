@@ -50,10 +50,11 @@ func runWithWorkers(t *testing.T, id string, workers int) string {
 
 // TestWorkersInvariance runs a representative slice of the catalog —
 // a standard sweep family, an aggregate-statistic table, a fixed-
-// connection sweep, the lossy wire, and the steered open-loop workload
-// — at 1, 4 and 13 workers and requires byte-identical tables.
+// connection sweep, the lossy wire, the steered open-loop workload, and
+// the GRO batching family — at 1, 4 and 13 workers and requires
+// byte-identical tables.
 func TestWorkersInvariance(t *testing.T) {
-	for _, id := range []string{"fig08-09", "table1", "ext-strategies", "ext-loss", "ext-steer"} {
+	for _, id := range []string{"fig08-09", "table1", "ext-strategies", "ext-loss", "ext-steer", "ext-batch"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,23 @@
+package hostbench
+
+import "testing"
+
+// TestMergeAbsorbZeroAllocs enforces the batching subsystem's host-cost
+// contract: the GRO merge path (head with grow-room, donors absorbed
+// and freed) allocates nothing per operation once the per-processor
+// free lists are warm. testing.Benchmark's final round runs enough
+// iterations that fixed setup (engine, goroutine, first buffers)
+// amortizes to zero, so any steady-state per-merge allocation shows.
+func TestMergeAbsorbZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped in -short")
+	}
+	res := testing.Benchmark(benchMsgMergeAbsorb)
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Errorf("merge path allocates %d allocs/op (%d B/op); want 0",
+			allocs, res.AllocedBytesPerOp())
+	}
+}

@@ -24,6 +24,51 @@ const Headroom = 64
 // classes are the MNode buffer size classes.
 var classes = [...]int{128, 512, 2048, 8192}
 
+// MaxClassBytes is the largest MNode buffer class — the hard ceiling on
+// any single contiguous message, merged GRO frames included.
+const MaxClassBytes = 8192
+
+// BatchConfig parameterizes receive-side GRO-style coalescing. The
+// merge itself lives on Message (Absorb); the flush policy is applied
+// by whoever owns the pending frame (the steering dispatcher, the
+// driver pump loops).
+type BatchConfig struct {
+	// Enabled turns coalescing on. Off (or MaxSegs == 1) must leave
+	// every code path byte-identical to an unbatched build.
+	Enabled bool
+	// MaxSegs caps how many wire segments one merged frame may carry
+	// (default 8).
+	MaxSegs int
+	// MaxBytes caps the merged frame's total length, headers included
+	// (default and ceiling MaxClassBytes).
+	MaxBytes int
+	// FlushTimeoutNs bounds how long a pending frame may wait for a
+	// mergeable successor before it is flushed (default 50 µs).
+	FlushTimeoutNs int64
+}
+
+// WithDefaults fills unset fields.
+func (c BatchConfig) WithDefaults() BatchConfig {
+	if c.MaxSegs <= 0 {
+		c.MaxSegs = 8
+	}
+	if c.MaxBytes <= 0 || c.MaxBytes > MaxClassBytes {
+		c.MaxBytes = MaxClassBytes
+	}
+	if c.FlushTimeoutNs <= 0 {
+		c.FlushTimeoutNs = 50_000
+	}
+	return c
+}
+
+// Active reports whether coalescing can actually merge anything. A
+// MaxSegs of 1 is the explicit "batching machinery on, merging off"
+// point and must behave identically to Enabled == false.
+func (c BatchConfig) Active() bool {
+	c = c.WithDefaults()
+	return c.Enabled && c.MaxSegs > 1
+}
+
 // ErrNoRoom is returned when a header push or pop exceeds the buffer.
 var ErrNoRoom = errors.New("msg: not enough room")
 
@@ -221,7 +266,25 @@ type Message struct {
 	// histogram is fed from it at final consumption. Clone copies it;
 	// Fragment propagates it to each fragment.
 	Born int64
+
+	// Segs is the number of wire segments coalesced into this view by
+	// Absorb (GRO). Zero means one — an ordinary unmerged packet — so
+	// view recycling needs no special reset and unbatched paths never
+	// see a nonzero value.
+	Segs uint16
 }
+
+// SegCount returns how many wire segments this view carries (>= 1).
+func (m *Message) SegCount() int {
+	if m.Segs == 0 {
+		return 1
+	}
+	return int(m.Segs)
+}
+
+// Tailroom reports the buffer space available behind the view — the
+// room Absorb can grow into.
+func (m *Message) Tailroom() int { return len(m.node.buf) - m.tail }
 
 // newView produces a zeroed Message struct from the per-processor view
 // cache (or fresh). Purely a host-allocation optimization: no virtual
@@ -436,4 +499,27 @@ func Join(t *sim.Thread, a *Allocator, parts []*Message) (*Message, error) {
 		p.Free(t)
 	}
 	return out, nil
+}
+
+// Absorb appends o's view to this message in place (GRO coalescing),
+// charging per-byte copy cost, and frees o. The head view's Segs
+// accumulates both sides' segment counts. Fails with ErrNoRoom — and
+// leaves o untouched for the caller to flush separately — when the
+// node lacks tailroom for o's bytes.
+func (m *Message) Absorb(t *sim.Thread, o *Message) error {
+	if m.node.ref.Value() > 1 {
+		if err := m.privatize(t); err != nil {
+			return err
+		}
+	}
+	n := o.Len()
+	if m.Tailroom() < n {
+		return ErrNoRoom
+	}
+	t.ChargeBytes(t.Engine().C.Stack.CopyByte, n)
+	copy(m.node.buf[m.tail:], o.Bytes())
+	m.tail += n
+	m.Segs = uint16(m.SegCount() + o.SegCount())
+	o.Free(t)
+	return nil
 }

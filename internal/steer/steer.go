@@ -239,6 +239,12 @@ func (s *Steerer) Bucket(hash uint32) int {
 // (possibly churned) connection; hash its Toeplitz hash.
 func (s *Steerer) Decide(t *sim.Thread, flow uint64, hash uint32) int {
 	s.stats.Decisions++
+	// The rebalancer's heat signal counts every decision against its
+	// hash bucket, whichever path serves it: a policy that combines
+	// exact-match hits with rebalancing must still see hot buckets as
+	// hot, so Sample migrates the genuinely hottest one.
+	b := s.Bucket(hash)
+	s.bucketPkts[b]++
 	switch s.cfg.Policy {
 	case PolicyPacket:
 		p := int(s.rr % int64(s.procs))
@@ -251,8 +257,6 @@ func (s *Steerer) Decide(t *sim.Thread, flow uint64, hash uint32) int {
 		}
 		s.stats.FlowMiss++
 	}
-	b := s.Bucket(hash)
-	s.bucketPkts[b]++
 	return int(s.table[b].proc)
 }
 

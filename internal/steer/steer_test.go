@@ -264,3 +264,69 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatal("FlowBuckets > FlowTableSize accepted")
 	}
 }
+
+// TestDecideHeatsBucketOnFlowHit enforces that the rebalancer's heat
+// signal counts every decision — including exact-match Flow Director
+// hits, which return before the indirection table is consulted. A hit
+// path that skipped the counter would leave hot buckets looking cold,
+// and Sample would migrate the wrong one.
+func TestDecideHeatsBucketOnFlowHit(t *testing.T) {
+	cfg := Config{
+		Enabled: true, Policy: PolicyFlowDirector,
+		Buckets: 8, FlowTableSize: 16, FlowBuckets: 1,
+	}
+	run(t, 1, func(th *sim.Thread) {
+		s := New(cfg, 4)
+		const flow, hash = uint64(7), uint32(3) // bucket 3
+		s.Pin(th, flow, hash, 2)
+		for i := 0; i < 5; i++ {
+			if got := s.Decide(th, flow, hash); got != 2 {
+				t.Fatalf("pinned flow steered to %d, want 2", got)
+			}
+		}
+		if s.stats.FlowHits != 5 {
+			t.Fatalf("flow hits = %d, want 5", s.stats.FlowHits)
+		}
+		if got := s.bucketPkts[s.Bucket(hash)]; got != 5 {
+			t.Fatalf("bucketPkts[%d] = %d after 5 exact-match hits, want 5",
+				s.Bucket(hash), got)
+		}
+		// The miss/RSS path heats the same counter.
+		s.Decide(th, 99, hash)
+		if got := s.bucketPkts[s.Bucket(hash)]; got != 6 {
+			t.Fatalf("bucketPkts[%d] = %d after RSS fallback, want 6",
+				s.Bucket(hash), got)
+		}
+	})
+}
+
+// TestResetPeak pins the snapshot contract steerSnapshot relies on:
+// ResetPeak clears only the peak-imbalance watermark, scoping it to the
+// interval between snapshots, and leaves the cumulative counters alone.
+func TestResetPeak(t *testing.T) {
+	cfg := Config{
+		Enabled: true, Policy: PolicyRebalance,
+		Buckets: 8, ImbalanceThresholdPct: 1000, // never migrate
+	}
+	run(t, 1, func(th *sim.Thread) {
+		s := New(cfg, 2)
+		s.Sample(th, []int{10, 0})
+		if s.Stats().PeakQueuePct <= 0 {
+			t.Fatal("imbalanced sample did not record a peak")
+		}
+		s.ResetPeak()
+		if got := s.Stats().PeakQueuePct; got != 0 {
+			t.Fatalf("peak = %.1f after ResetPeak, want 0", got)
+		}
+		if s.Stats().Samples != 1 {
+			t.Fatalf("ResetPeak disturbed cumulative counters: samples = %d", s.Stats().Samples)
+		}
+		// A milder post-reset interval records its own, smaller peak
+		// rather than inheriting the earlier watermark.
+		s.Sample(th, []int{3, 1})
+		peak2 := s.Stats().PeakQueuePct
+		if peak2 <= 0 || peak2 >= 400 {
+			t.Fatalf("post-reset peak = %.1f, want the new interval's own (0, 400)", peak2)
+		}
+	})
+}

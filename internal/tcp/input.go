@@ -99,12 +99,13 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 		}
 		if sg.dlen > 0 && sg.ack == tcb.sndUna &&
 			uint32(sg.dlen) <= tcb.rcvWnd {
-			// Predicted in-order data.
+			// Predicted in-order data. A GRO-merged frame takes this
+			// path as a single segment: one state-lock acquisition and
+			// one prediction hit covering all coalesced bytes.
 			t.ChargeRand(st.TCPRecvFast)
-			p.stats.Predicted++
 			t.Engine().Rec.PredictHit(t.Proc, t.Now(), int64(sg.seq))
 			tcb.rcvNxt += uint32(sg.dlen)
-			p.stats.BytesIn += int64(sg.dlen)
+			dlen := sg.dlen
 			needAck, ackVal, win := tcb.ackPolicy(t)
 			if cfg.Ticketing {
 				m.Ticket = tcb.upSeq.Ticket(t)
@@ -117,8 +118,16 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 					return err
 				}
 			}
+			if err := tcb.up.Receive(t, m); err != nil {
+				return err
+			}
+			// Accounted only after the fallible ack send and delivery:
+			// a failed step must not count as delivered traffic or the
+			// counters drift from the sink under fault injection.
+			p.stats.Predicted++
+			p.stats.BytesIn += int64(dlen)
 			p.stats.Delivered++
-			return tcb.up.Receive(t, m)
+			return nil
 		}
 	}
 
@@ -281,10 +290,10 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 		}
 	}
 	for _, dm := range deliver {
-		p.stats.Delivered++
 		if err := tcb.up.Receive(t, dm); err != nil {
 			return err
 		}
+		p.stats.Delivered++
 	}
 	return nil
 }

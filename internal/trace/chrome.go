@@ -81,12 +81,18 @@ func chromeEvent(e Event) string {
 			args = fmt.Sprintf(`,"args":{"what":%q,"id":%d,"to_proc":%d}`, e.Name, e.Arg, e.Arg2)
 		case EvFlowEvict:
 			args = fmt.Sprintf(`,"args":{"flow":%d}`, e.Arg)
+		case EvBatchMerge:
+			args = fmt.Sprintf(`,"args":{"segs":%d}`, e.Arg)
+		case EvBatchFlush:
+			args = fmt.Sprintf(`,"args":{"reason":%q,"segs":%d,"bytes":%d}`, e.Name, e.Arg, e.Arg2)
 		}
 		switch e.Kind {
 		case EvFault:
 			name = "fault " + name
 		case EvSteerMigrate:
 			name = "steer-migrate " + e.Name
+		case EvBatchFlush:
+			name = "batch-flush " + name
 		default:
 			name = e.Kind.String()
 		}

@@ -63,6 +63,15 @@ const (
 	// EvFlowEvict marks an LRU eviction from the Flow-Director table
 	// (Arg: the evicted flow id).
 	EvFlowEvict
+	// EvBatchMerge marks one GRO coalesce: a wire segment absorbed into
+	// a pending merged frame (Arg: the frame's segment count after the
+	// merge).
+	EvBatchMerge
+	// EvBatchFlush marks a merged frame leaving the batching stage for
+	// the stack. Name is the flush trigger ("maxsegs", "maxbytes",
+	// "seq", "flow", "timeout", "window", "stop"); Arg is the segment
+	// count, Arg2 the frame's total bytes.
+	EvBatchFlush
 )
 
 // String names the kind for exports.
@@ -92,6 +101,10 @@ func (k EventKind) String() string {
 		return "steer-migrate"
 	case EvFlowEvict:
 		return "flow-evict"
+	case EvBatchMerge:
+		return "batch-merge"
+	case EvBatchFlush:
+		return "batch-flush"
 	}
 	return "invalid"
 }
@@ -311,6 +324,24 @@ func (r *Recorder) FlowEvict(proc int, ts int64, flow int64) {
 		return
 	}
 	r.push(proc, Event{TS: ts, Kind: EvFlowEvict, Arg: flow})
+}
+
+// BatchMerge records one GRO coalesce; segs is the merged frame's
+// segment count after absorbing the new one.
+func (r *Recorder) BatchMerge(proc int, ts int64, segs int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvBatchMerge, Arg: segs})
+}
+
+// BatchFlush records a merged frame entering the stack; reason names
+// the flush trigger, segs the segment count, bytes the frame length.
+func (r *Recorder) BatchFlush(proc int, ts int64, reason string, segs, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.push(proc, Event{TS: ts, Kind: EvBatchFlush, Name: reason, Arg: segs, Arg2: bytes})
 }
 
 // Procs returns the number of per-processor tracks.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/measure"
+	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/steer"
 	"repro/internal/tcp"
@@ -193,6 +194,24 @@ type WorkloadConfig struct {
 	Seed uint64
 }
 
+// BatchConfig enables and parameterizes receive-side GRO-style segment
+// coalescing: consecutive same-flow in-order segments merge into one
+// frame below the protocol layers, so TCP's connection-state lock (and
+// the sink's delivery lock) is taken once per merged frame instead of
+// once per wire packet. Zero values take the subsystem defaults.
+// Disabled (the default) is byte-identical to the unbatched stack.
+type BatchConfig struct {
+	Enabled bool
+	// MaxSegs caps segments merged per frame (default 8; 1 disables).
+	MaxSegs int
+	// MaxBytes caps a merged frame's total length (default: the
+	// largest message-tool buffer class, 8192).
+	MaxBytes int
+	// FlushTimeoutUs flushes a pending merge whose head has aged past
+	// this bound, virtual µs (default 50).
+	FlushTimeoutUs int64
+}
+
 // FaultRates sets per-frame fault probabilities for one direction of
 // the fault-injection wire. All rates are in [0, 1].
 type FaultRates struct {
@@ -239,6 +258,9 @@ type Config struct {
 	// Workload shapes its many-connection traffic.
 	Steer    SteerConfig
 	Workload WorkloadConfig
+
+	// Batch enables receive-side GRO-style segment coalescing.
+	Batch BatchConfig
 
 	Layout        Layout
 	LockKind      LockKind
@@ -324,15 +346,26 @@ type Result struct {
 	// SteerDrops counts arrivals dropped on full dispatch rings during
 	// the measurement interval (steered runs).
 	SteerDrops int64
+	// BatchFrames and BatchSegs count the merged frames injected during
+	// the measurement interval and the wire segments they carried
+	// (batching runs); BatchSegsPerFrame is their ratio — the achieved
+	// coalescing factor.
+	BatchFrames       int64
+	BatchSegs         int64
+	BatchSegsPerFrame float64
 }
 
-// steerResult copies the steering metrics out of an aggregate run.
+// steerResult copies the steering and batching metrics out of an
+// aggregate run.
 func steerResult(r *Result, agg core.RunResult) {
 	r.ImbalancePct = agg.ImbalancePct
 	r.PeakQueuePct = agg.PeakQueuePct
 	r.SteerMigrates = agg.SteerMigrates
 	r.FlowEvicts = agg.FlowEvicts
 	r.SteerDrops = agg.SteerDrops
+	r.BatchFrames = agg.BatchFrames
+	r.BatchSegs = agg.BatchSegs
+	r.BatchSegsPerFrame = agg.BatchSegsPerFrame
 }
 
 func (c Config) toCore() (core.Config, error) {
@@ -431,6 +464,14 @@ func (c Config) toCore() (core.Config, error) {
 			MeanFlowPkts: c.Workload.MeanFlowPkts,
 			AppMoveEvery: c.Workload.AppMoveEvery,
 			Seed:         c.Workload.Seed,
+		}
+	}
+	if c.Batch.Enabled {
+		cfg.Batch = msg.BatchConfig{
+			Enabled:        true,
+			MaxSegs:        c.Batch.MaxSegs,
+			MaxBytes:       c.Batch.MaxBytes,
+			FlushTimeoutNs: c.Batch.FlushTimeoutUs * 1_000,
 		}
 	}
 	return cfg, nil
