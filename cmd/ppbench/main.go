@@ -7,10 +7,12 @@
 //	ppbench -list
 //	ppbench -experiment fig08-09
 //	ppbench -experiment all -runs 5 -measure 2000 -csv
+//	ppbench -quick -json BENCH_trace.json -timeseries BENCH_timeseries.json
 //
 // Durations are virtual milliseconds; the paper used 30 s warm-up and
 // 30 s measurement averaged over 10 runs, which works too (it is just
-// slower to simulate).
+// slower to simulate). `-list` prints the experiment catalog plus the
+// full flag reference.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/hostbench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
 		batch    = flag.String("batch", "", "ext-batch: comma-separated batch sizes (MaxSegs), e.g. 1,4,8,16; 1 means batching off")
 		jsonOut  = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
+		tsOut    = flag.String("timeseries", "", "run the profile suite with telemetry sampling on and write the per-run time series (JSON) to FILE ('-' for stdout)")
+		sampleNs = flag.Int64("sample", 0, "with -timeseries: telemetry sampling period, virtual ns (0: default 1000000)")
 		benchOut = flag.String("bench", "", "run the host wall-clock benchmark suite and write the report to FILE ('-' for stdout)")
 		baseline = flag.String("baseline", "", "with -bench: compare against this baseline report, exit non-zero if a sweep regresses")
 		ratchet  = flag.Float64("ratchet", 2.0, "with -baseline: fail when a sweep's wall time exceeds this factor times the baseline")
@@ -53,8 +58,8 @@ func main() {
 		printCatalog(os.Stdout)
 		return
 	}
-	if *exp == "" && *jsonOut == "" && *benchOut == "" {
-		fmt.Fprintln(os.Stderr, "ppbench: -experiment, -json, or -bench required (or -list); try -experiment all")
+	if *exp == "" && *jsonOut == "" && *benchOut == "" && *tsOut == "" {
+		fmt.Fprintln(os.Stderr, "ppbench: -experiment, -json, -timeseries, or -bench required (or -list); try -experiment all")
 		os.Exit(2)
 	}
 
@@ -95,13 +100,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
 			os.Exit(1)
 		}
-		if *exp == "" && *jsonOut == "" {
+		if *exp == "" && *jsonOut == "" && *tsOut == "" {
 			return
 		}
 	}
 
-	if *jsonOut != "" {
-		if err := writeProfiles(*jsonOut, p); err != nil {
+	if *jsonOut != "" || *tsOut != "" {
+		if *tsOut != "" {
+			p.SamplePeriodNs = *sampleNs
+			if p.SamplePeriodNs <= 0 {
+				p.SamplePeriodNs = telemetry.DefaultPeriodNs
+			}
+		}
+		if err := writeProfiles(*jsonOut, *tsOut, p); err != nil {
 			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -148,12 +159,29 @@ func main() {
 	}
 }
 
-// printCatalog lists every registered experiment.
+// printCatalog lists every registered experiment plus the flag
+// reference, grouped by what each flag applies to.
 func printCatalog(w io.Writer) {
 	fmt.Fprintln(w, "Available experiments:")
 	for _, s := range experiments.Catalog() {
 		fmt.Fprintf(w, "  %-18s %-22s %s\n", s.ID, s.Figures, s.Brief)
 	}
+	fmt.Fprint(w, `
+Flag groups:
+  selection    -experiment ID[,ID...]|all  run experiments; -list this catalog
+  methodology  -maxprocs -warmup -measure -runs -seed -quick
+               (-quick: fast smoke parameters, overriding the others)
+  ladders      -loss R[,R...]   ext-loss loss-rate ladder override
+               -batch N[,N...]  ext-batch MaxSegs ladder override (1 = off)
+  output       -csv -plot
+  suites       -json FILE        traced profile suite (ProfileJSON records)
+               -timeseries FILE  profile suite with telemetry sampling on;
+                                 per-run time series as JSON ('-' = stdout)
+               -sample NS        sampling period for -timeseries (default 1e6)
+               -bench FILE -baseline FILE -ratchet F   host wall-clock suite
+  host         -procs N  worker threads to fan points across (0 = GOMAXPROCS);
+               output is byte-identical for every value
+`)
 }
 
 // runHostBench collects the host wall-clock benchmark report, writes it
@@ -216,26 +244,42 @@ func runHostBench(path, basePath string, factor float64) error {
 }
 
 // writeProfiles runs the traced profile suite and writes the records as
-// a JSON array to path ("-" for stdout).
-func writeProfiles(path string, p experiments.Params) error {
+// a JSON array to path ("-" for stdout). When tsPath is non-empty the
+// suite also samples telemetry and the per-run time series land there
+// as a second JSON array; either path may be empty to skip it.
+func writeProfiles(path, tsPath string, p experiments.Params) error {
 	start := time.Now()
-	profiles, err := experiments.ProfileSuite(p)
+	profiles, series, err := experiments.ProfileSuiteSeries(p)
 	if err != nil {
 		return err
 	}
-	out, err := json.MarshalIndent(profiles, "", "  ")
-	if err != nil {
-		return err
+	emit := func(v any, to, what string) error {
+		out, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if to == "-" {
+			_, err = os.Stdout.Write(out)
+			return err
+		}
+		if err := os.WriteFile(to, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("== profile suite: %s -> %s (%s wall time)\n",
+			what, to, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
-	out = append(out, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(out)
-		return err
+	if path != "" {
+		if err := emit(profiles, path, fmt.Sprintf("%d traced runs", len(profiles))); err != nil {
+			return err
+		}
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
+	if tsPath != "" {
+		if err := emit(series, tsPath, fmt.Sprintf("%d sampled time series (period %d ns)", len(series), p.SamplePeriodNs)); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("== profile suite: %d traced runs -> %s (%s wall time)\n\n",
-		len(profiles), path, time.Since(start).Round(time.Millisecond))
+	fmt.Println()
 	return nil
 }

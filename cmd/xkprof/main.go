@@ -7,9 +7,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/driver"
@@ -17,7 +19,40 @@ import (
 	"repro/internal/sim"
 	"repro/internal/steer"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
+
+// usage groups the flag set by subsystem; the steering and batching
+// groups in particular predate this text and were only discoverable by
+// reading main().
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprint(w, `Usage: xkprof [flags]
+
+Runs one workload configuration on the simulated multiprocessor and
+prints a Pixie-style profile: locks, message tool, demultiplexing, TCP
+counters, plus steering, batching, trace and telemetry sections as
+configured.
+
+Flag groups:
+  workload       -proto -side -procs -conns -size -checksum -lock
+                 -layout -strategy -warmup -measure -seed
+  fault wire     -drop -dup -corrupt -reorder -delay -delayns
+                 -fault-seed -enforce-checksum
+  flow steering  -steer -hot -hotconns -gap -flowpkts -appmove -quiesce
+  GRO batching   -batch -batchsegs -batchbytes -batchflush
+  observability  -trace -trace-depth -sample -series
+
+Examples:
+  xkprof -proto tcp -side recv -procs 8 -lock mcs
+  xkprof -steer rebalance -hot 80 -hotconns 4 -procs 4
+  xkprof -batch -batchsegs 8 -proto udp -side recv
+  xkprof -trace out.json -sample 1000000 -series series.csv
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
 
 func main() {
 	var (
@@ -47,6 +82,8 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "record the packet flight recorder and write a Chrome trace-event JSON (load in Perfetto) to FILE")
 		traceDepth = flag.Int("trace-depth", 0, "per-processor trace ring capacity (0: default 65536 events)")
+		sampleNs   = flag.Int64("sample", 0, "telemetry sampling period, virtual ns (0: off); sampled counters merge into -trace as Perfetto counter tracks and ProfileReport gains the attribution section")
+		seriesOut  = flag.String("series", "", "write the sampled telemetry time series to FILE (.json for JSON, anything else CSV); implies -sample 1000000 when -sample is unset")
 
 		// Receive-side flow steering (forces -proto udp -side recv).
 		steerPol = flag.String("steer", "off", "flow steering policy: off, rr, rss, fdir, rebalance")
@@ -63,6 +100,7 @@ func main() {
 		batchBytes = flag.Int("batchbytes", 0, "batching: max merged frame bytes (0: default 8192)")
 		batchFlush = flag.Int64("batchflush", 0, "batching: pending-merge flush timeout, virtual ns (0: default 50000)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -153,6 +191,12 @@ func main() {
 		cfg.Trace = true
 		cfg.TraceDepth = *traceDepth
 	}
+	if *sampleNs > 0 || *seriesOut != "" {
+		cfg.SamplePeriodNs = *sampleNs
+		if cfg.SamplePeriodNs <= 0 {
+			cfg.SamplePeriodNs = telemetry.DefaultPeriodNs
+		}
+	}
 
 	rates := driver.FaultRates{
 		Drop: *drop, Dup: *dup, Corrupt: *corrupt,
@@ -191,7 +235,7 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := st.Rec.WriteChromeTrace(f); err != nil {
+		if err := st.Rec.WriteChromeTrace(f, st.CounterTracks()...); err != nil {
 			f.Close()
 			fatal("%v", err)
 		}
@@ -199,6 +243,27 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("\nwrote flight-recorder trace to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *seriesOut != "" {
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if strings.HasSuffix(*seriesOut, ".json") {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(st.TimeSeries())
+		} else {
+			err = st.WriteTimeSeriesCSV(f)
+		}
+		if err != nil {
+			f.Close()
+			fatal("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote telemetry time series to %s\n", *seriesOut)
 	}
 }
 

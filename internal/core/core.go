@@ -34,6 +34,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/steer"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/udp"
 	"repro/internal/workload"
@@ -149,6 +150,17 @@ type Config struct {
 	// TraceDepth is the per-processor ring capacity (default
 	// trace.DefaultDepth).
 	TraceDepth int
+
+	// SamplePeriodNs enables the virtual-time telemetry sampler
+	// (internal/telemetry): every registered counter/gauge series is
+	// snapshotted each period, and ProfileReport gains the top-N
+	// lock/flow attribution section. 0 (the default) disables sampling.
+	// Sampling is virtual-time neutral — measurements are identical with
+	// sampling on or off.
+	SamplePeriodNs int64
+	// SampleDepth is the per-series sample ring capacity (default
+	// telemetry.DefaultDepth).
+	SampleDepth int
 }
 
 // DefaultConfig returns the paper's baseline configuration (Section 3):
@@ -186,6 +198,8 @@ type Stack struct {
 	Alloc *msg.Allocator
 	// Rec is the flight recorder (nil unless Cfg.Trace).
 	Rec *trace.Recorder
+	// Tel is the telemetry sampler (nil unless Cfg.SamplePeriodNs > 0).
+	Tel *telemetry.Sampler
 
 	FDDI *fddi.Protocol
 	IP   *ip.Protocol
@@ -219,6 +233,12 @@ type Stack struct {
 	batchOn     bool
 	batchFrames int64
 	batchSegs   int64
+
+	// Telemetry plumbing (telemetry.go); nil unless sampling is on.
+	// telDel bundles the per-processor delivery counters with the flow
+	// sketch; telFlows aliases the sketch for attribution reads.
+	telDel   *telemetry.Deliveries
+	telFlows *telemetry.FlowSketch
 
 	steerHashCaches []steerHashCache
 
@@ -277,7 +297,7 @@ func Build(cfg Config) (*Stack, error) {
 	var wire xkernel.Wire
 	switch {
 	case cfg.Proto == ProtoUDP && cfg.Side == SideSend:
-		s.udpSink = &driver.UDPSink{}
+		s.udpSink = driver.NewUDPSink()
 		wire = s.udpSink
 	case cfg.Proto == ProtoUDP && cfg.Side == SideRecv && cfg.Steer.Enabled:
 		s.steerSrc = driver.NewSteerSource(s.Alloc, cfg.PacketSize, cfg.Connections)
@@ -381,6 +401,10 @@ func Build(cfg Config) (*Stack, error) {
 	s.Source = app.NewSource(s.Alloc, cfg.PacketSize)
 	if cfg.Steer.Enabled {
 		s.buildSteer()
+	}
+	if cfg.SamplePeriodNs > 0 {
+		// After buildSteer: the queue-depth gauges close over the rings.
+		s.buildTelemetry()
 	}
 	return s, nil
 }
@@ -547,6 +571,7 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 			c = 0 // skewed traffic: pile onto the hot connection
 		}
 		var err error
+		shepherded := 1 // wire packets this iteration moved (telemetry)
 		switch {
 		case cfg.Proto == ProtoUDP && cfg.Side == SideSend:
 			var m *msg.Message
@@ -570,6 +595,7 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 				var segs int
 				segs, err = s.udpSrc.PumpBatch(t, c, cfg.Batch)
 				s.noteBatch(segs)
+				shepherded = segs
 			} else {
 				err = s.udpSrc.Pump(t, c)
 			}
@@ -579,6 +605,7 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 				var segs int
 				segs, ok, err = s.tcpSend.PumpBatch(t, c, &s.stop, cfg.Batch)
 				s.noteBatch(segs)
+				shepherded = segs
 			} else {
 				ok, err = s.tcpSend.Pump(t, c, &s.stop)
 			}
@@ -591,6 +618,10 @@ func (s *Stack) pump(t *sim.Thread, p int) {
 		}
 		if err != nil {
 			panic(fmt.Sprintf("core: pump %d: %v", p, err))
+		}
+		if s.telDel != nil && shepherded > 0 {
+			s.telDel.Note(p, uint64(c)<<32,
+				int64(shepherded), int64(shepherded)*int64(cfg.PacketSize))
 		}
 		n++
 		if !cfg.Wired && cfg.MigrateEvery > 0 && t.Rand().Intn(cfg.MigrateEvery) == 0 {

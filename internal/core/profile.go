@@ -162,6 +162,9 @@ func (s *Stack) ProfileReport() string {
 	if s.Rec != nil {
 		b.WriteString(s.traceSection())
 	}
+	if s.Tel != nil {
+		b.WriteString(s.telemetrySection())
+	}
 	return b.String()
 }
 

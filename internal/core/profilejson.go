@@ -77,6 +77,37 @@ type ProfileJSON struct {
 	// TraceDropped counts flight-recorder events lost to ring
 	// overwrite (0 when tracing was off or the rings sufficed).
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+
+	// Telemetry attribution (present only when Config.SamplePeriodNs
+	// was set): the sampling period and the top-N contended locks and
+	// hottest flows. Slices, not maps, so the JSON is deterministic.
+	SamplePeriodNs int64          `json:"sample_period_ns,omitempty"`
+	TopLocks       []LockAttrJSON `json:"top_locks,omitempty"`
+	TopFlows       []FlowAttrJSON `json:"top_flows,omitempty"`
+}
+
+// HolderWaitJSON attributes part of a lock's total wait to the
+// processor that held the lock when the waits began (-1: unknown).
+type HolderWaitJSON struct {
+	Proc   int   `json:"proc"`
+	WaitNs int64 `json:"wait_ns"`
+}
+
+// LockAttrJSON is one entry of the top-N contended-lock table.
+type LockAttrJSON struct {
+	Name    string           `json:"name"`
+	WaitNs  int64            `json:"wait_ns"`
+	Waits   int64            `json:"waits"`
+	Holders []HolderWaitJSON `json:"holders,omitempty"`
+}
+
+// FlowAttrJSON is one entry of the top-N hottest-flow table (estimates
+// from the count-min sketch).
+type FlowAttrJSON struct {
+	Conn  int    `json:"conn"`
+	Gen   uint32 `json:"gen,omitempty"`
+	Pkts  int64  `json:"pkts"`
+	Bytes int64  `json:"bytes"`
 }
 
 // Profile assembles the machine-readable profile for a completed run.
@@ -160,6 +191,31 @@ func (s *Stack) Profile(label string, res RunResult) ProfileJSON {
 			p.E2E = &hj
 		}
 		p.TraceDropped = s.Rec.Dropped()
+	}
+	if s.Tel != nil {
+		p.SamplePeriodNs = s.Tel.Period()
+		for _, a := range s.Tel.TopLocks(5) {
+			lj := LockAttrJSON{Name: a.Name, WaitNs: a.WaitNs, Waits: a.Contended}
+			for h, w := range a.ByHolder {
+				if w == 0 {
+					continue
+				}
+				proc := h
+				if h == len(a.ByHolder)-1 {
+					proc = -1 // unknown holder
+				}
+				lj.Holders = append(lj.Holders, HolderWaitJSON{Proc: proc, WaitNs: w})
+			}
+			p.TopLocks = append(p.TopLocks, lj)
+		}
+		for _, f := range s.telFlows.Top(5) {
+			p.TopFlows = append(p.TopFlows, FlowAttrJSON{
+				Conn:  int(f.Flow >> 32),
+				Gen:   uint32(f.Flow),
+				Pkts:  f.Pkts,
+				Bytes: f.Bytes,
+			})
+		}
 	}
 	return p
 }

@@ -19,6 +19,11 @@ type SteerSource struct {
 	up    xkernel.Upper
 	alloc *msg.Allocator
 	tmpl  [][]byte
+
+	// NIC production counters (engine-serialized; telemetry gauges read
+	// them through Produced).
+	produced      int64
+	producedBytes int64
 }
 
 // NewSteerSource builds one template per connection. payload must be at
@@ -76,7 +81,14 @@ func (s *SteerSource) ProduceGrow(t *sim.Thread, a workload.Arrival, grow int) (
 	workload.EncodeStamp(m.Bytes()[udpFrameHdr:], a.Conn, a.Seq, a.Gen)
 	m.Born = t.Now()
 	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(a.Conn))
+	s.produced++
+	s.producedBytes += int64(m.Len())
 	return m, nil
+}
+
+// Produced returns the cumulative frames and bytes the NIC has built.
+func (s *SteerSource) Produced() (frames, bytes int64) {
+	return s.produced, s.producedBytes
 }
 
 // PayloadLen returns connection conn's UDP payload size — the unit a

@@ -77,6 +77,7 @@ func NewSimTCPReceiver(alloc *msg.Allocator, conns int) *SimTCPReceiver {
 		AckEvery: 2,
 		conns:    make(map[uint32]*simRecvConn),
 	}
+	d.ring.Name = "ring:tcp-recv"
 	for i := 0; i < conns; i++ {
 		c := &simRecvConn{
 			sport: LocalPort(i),

@@ -56,6 +56,7 @@ const rexmtTimeoutNs = 10_000_000
 // payload-sized segments.
 func NewSimTCPSender(alloc *msg.Allocator, payload, conns int) *SimTCPSender {
 	d := &SimTCPSender{alloc: alloc, payload: payload}
+	d.ring.Name = "ring:tcp-send"
 	for i := 0; i < conns; i++ {
 		c := &simSendConn{
 			sport: PeerPort(i),

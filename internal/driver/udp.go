@@ -31,6 +31,14 @@ type UDPSink struct {
 	bytes int64
 }
 
+// NewUDPSink builds the sink with its adaptor ring lock named for the
+// contention-attribution tables.
+func NewUDPSink() *UDPSink {
+	s := &UDPSink{}
+	s.ring.Name = "ring:udp-sink"
+	return s
+}
+
 // TX consumes one frame, counting its payload bytes.
 func (s *UDPSink) TX(t *sim.Thread, m *msg.Message) error {
 	st := &t.Engine().C.Stack
@@ -66,6 +74,7 @@ type UDPSource struct {
 // carrying payload-sized datagrams addressed to the stack under test.
 func NewUDPSource(alloc *msg.Allocator, payload, conns int) *UDPSource {
 	s := &UDPSource{alloc: alloc}
+	s.ring.Name = "ring:udp-src"
 	for i := 0; i < conns; i++ {
 		s.tmpl = append(s.tmpl,
 			udpTemplate(payload, HostPeer, HostLocal, PeerPort(i), LocalPort(i)))

@@ -34,6 +34,10 @@ type Params struct {
 	// simulation points across (0 means GOMAXPROCS). Results are
 	// byte-identical for every value — see pool.go.
 	Workers int
+	// SamplePeriodNs turns on virtual-time telemetry sampling in the
+	// profile suite (ProfileSuiteSeries archives the series). 0 leaves
+	// sampling off; sweeps ignore it.
+	SamplePeriodNs int64
 }
 
 // DefaultParams is the standard scaled-down methodology.

@@ -102,6 +102,58 @@ func TestProfileSuiteWorkersInvariance(t *testing.T) {
 	}
 }
 
+// TestProfileSuiteSeriesWorkersInvariance extends the invariance to the
+// sampled telemetry payload (the ppbench -timeseries artifact): with
+// sampling on, both the profile records — now carrying the attribution
+// tables — and every per-run time series must be byte-identical across
+// worker counts, and the series must return in suite order.
+func TestProfileSuiteSeriesWorkersInvariance(t *testing.T) {
+	p := parTiny()
+	p.SamplePeriodNs = 1_000_000
+	encode := func(workers int) string {
+		p.Workers = workers
+		profiles, series, err := ProfileSuiteSeries(p)
+		if err != nil {
+			t.Fatalf("ProfileSuiteSeries with %d workers: %v", workers, err)
+		}
+		if len(series) != len(profiles) {
+			t.Fatalf("%d series for %d profiles", len(series), len(profiles))
+		}
+		for i := range series {
+			if series[i].Label != profiles[i].Label {
+				t.Fatalf("series[%d] = %q out of suite order (profile %q)",
+					i, series[i].Label, profiles[i].Label)
+			}
+			if len(series[i].Series) == 0 {
+				t.Fatalf("series %q is empty", series[i].Label)
+			}
+		}
+		out, err := json.Marshal(struct {
+			P any
+			S any
+		}{profiles, series})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	want := encode(1)
+	if got := encode(4); got != want {
+		t.Fatal("sampled suite with 4 workers differs from sequential")
+	}
+	// Sampling must not leak into the unsampled suite: without a period
+	// the series slice stays nil.
+	p.SamplePeriodNs = 0
+	p.Workers = 2
+	_, series, err := ProfileSuiteSeries(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series != nil {
+		t.Fatalf("unsampled suite returned %d series, want none", len(series))
+	}
+}
+
 // TestRunPointsOrder checks the exported point runner returns results
 // in input order with correct per-point seeding.
 func TestRunPointsOrder(t *testing.T) {

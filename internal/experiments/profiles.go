@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ProfileRun is one suite entry: a label plus the traced config.
@@ -56,8 +57,17 @@ func profileRuns(p Params) []ProfileRun {
 		runs[i].Cfg.Procs = procs
 		runs[i].Cfg.Seed = p.Seed
 		runs[i].Cfg.Trace = true
+		runs[i].Cfg.SamplePeriodNs = p.SamplePeriodNs
 	}
 	return runs
+}
+
+// RunSeries is one suite run's archived telemetry time series
+// (`ppbench -timeseries`).
+type RunSeries struct {
+	Label    string                 `json:"label"`
+	PeriodNs int64                  `json:"period_ns"`
+	Series   []telemetry.SeriesJSON `json:"series"`
 }
 
 // ProfileSuite runs the fixed suite once per entry (single run each —
@@ -65,30 +75,50 @@ func profileRuns(p Params) []ProfileRun {
 // returns the machine-readable records. Entries fan across the worker
 // pool; the records return in suite order regardless of Workers.
 func ProfileSuite(p Params) ([]core.ProfileJSON, error) {
+	profiles, _, err := ProfileSuiteSeries(p)
+	return profiles, err
+}
+
+// ProfileSuiteSeries is ProfileSuite plus the sampled telemetry time
+// series of each run. The series slice is nil unless p.SamplePeriodNs
+// is set; both slices return in suite order regardless of Workers.
+func ProfileSuiteSeries(p Params) ([]core.ProfileJSON, []RunSeries, error) {
+	type runOut struct {
+		profile core.ProfileJSON
+		series  []telemetry.SeriesJSON
+	}
 	slots := workerSlots(p.workers())
 	runs := profileRuns(p)
-	futs := make([]*future[core.ProfileJSON], len(runs))
+	futs := make([]*future[runOut], len(runs))
 	for i, r := range runs {
 		r := r
-		futs[i] = submit(slots, func() (core.ProfileJSON, error) {
+		futs[i] = submit(slots, func() (runOut, error) {
 			st, err := core.Build(r.Cfg)
 			if err != nil {
-				return core.ProfileJSON{}, fmt.Errorf("profile %s: %w", r.Label, err)
+				return runOut{}, fmt.Errorf("profile %s: %w", r.Label, err)
 			}
 			res, err := st.Run(p.WarmupNs, p.MeasureNs)
 			if err != nil {
-				return core.ProfileJSON{}, fmt.Errorf("profile %s: %w", r.Label, err)
+				return runOut{}, fmt.Errorf("profile %s: %w", r.Label, err)
 			}
-			return st.Profile(r.Label, res), nil
+			return runOut{st.Profile(r.Label, res), st.TimeSeries()}, nil
 		})
 	}
-	out := make([]core.ProfileJSON, len(futs))
+	profiles := make([]core.ProfileJSON, len(futs))
+	var series []RunSeries
 	for i, f := range futs {
-		pj, err := f.wait()
+		out, err := f.wait()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out[i] = pj
+		profiles[i] = out.profile
+		if p.SamplePeriodNs > 0 {
+			series = append(series, RunSeries{
+				Label:    runs[i].Label,
+				PeriodNs: p.SamplePeriodNs,
+				Series:   out.series,
+			})
+		}
 	}
-	return out, nil
+	return profiles, series, nil
 }

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -157,6 +158,14 @@ type Engine struct {
 	// Recording never charges virtual time or draws from a thread's
 	// RNG: measurements are bit-identical with tracing on or off.
 	Rec *trace.Recorder
+
+	// Tel, when non-nil, is the virtual-time telemetry sampler
+	// (internal/telemetry). step ticks it as the clock advances so
+	// samples land on exact period boundaries, and the locks publish
+	// wait/hold/acquire counters through it. Like Rec, every method is
+	// nil-safe and sampling never charges virtual time, draws RNG or
+	// spawns threads: runs are bit-identical with sampling on or off.
+	Tel *telemetry.Sampler
 
 	// refPool is the finite set of static global locks used for
 	// lock-based reference-count manipulation (RefLocked mode); the
@@ -317,6 +326,7 @@ func (e *Engine) step(self *Thread) bool {
 		// an earlier point than the clock has reached) resumes now.
 		next.vt = e.now
 	}
+	e.Tel.Tick(e.now)
 	next.state = stateRunning
 	e.cur = next
 	if e.Trace != nil {

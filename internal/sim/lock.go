@@ -90,6 +90,7 @@ func (m *Mutex) Acquire(t *Thread) {
 	t.ChargeRand(s.LockProbe)
 	chargeLine(t, &m.lastProc)
 	m.stats.Acquires++
+	t.eng.Tel.LockAcquire(t.Proc)
 	if !m.held {
 		m.held = true
 		m.holder = t
@@ -118,6 +119,7 @@ func (m *Mutex) Acquire(t *Thread) {
 	wait := t.Now() - w.waitStart
 	m.stats.WaitNs += wait
 	t.eng.Rec.LockWait(t.Proc, m.Name, w.waitStart, wait, w.holderProc)
+	t.eng.Tel.LockWait(t.Proc, m.Name, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -133,6 +135,7 @@ func (m *Mutex) Release(t *Thread) {
 	hold := t.Now() - m.heldSince
 	m.stats.HoldNs += hold
 	t.eng.Rec.LockHold(t.Proc, m.Name, m.heldSince, hold)
+	t.eng.Tel.LockHold(t.Proc, hold)
 	if len(m.waiters) == 0 {
 		m.held = false
 		m.holder = nil
@@ -211,6 +214,7 @@ func (m *MCSLock) Acquire(t *Thread) {
 	t.ChargeRand(s.MCSSwap)
 	chargeLine(t, &m.lastProc)
 	m.stats.Acquires++
+	t.eng.Tel.LockAcquire(t.Proc)
 	if !m.held {
 		m.held = true
 		m.holder = t
@@ -228,6 +232,7 @@ func (m *MCSLock) Acquire(t *Thread) {
 	wait := t.Now() - w.waitStart
 	m.stats.WaitNs += wait
 	t.eng.Rec.LockWait(t.Proc, m.Name, w.waitStart, wait, w.holderProc)
+	t.eng.Tel.LockWait(t.Proc, m.Name, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -242,6 +247,7 @@ func (m *MCSLock) Release(t *Thread) {
 	hold := t.Now() - m.heldSince
 	m.stats.HoldNs += hold
 	t.eng.Rec.LockHold(t.Proc, m.Name, m.heldSince, hold)
+	t.eng.Tel.LockHold(t.Proc, hold)
 	if len(m.queue) == 0 {
 		m.held = false
 		m.holder = nil
@@ -291,6 +297,7 @@ func (l *TicketLock) Acquire(t *Thread) {
 	t.ChargeRand(s.Atomic) // fetch-and-increment of the ticket counter
 	chargeLine(t, &l.lastProc)
 	l.stats.Acquires++
+	t.eng.Tel.LockAcquire(t.Proc)
 	if !l.held {
 		l.held = true
 		l.holder = t
@@ -308,6 +315,7 @@ func (l *TicketLock) Acquire(t *Thread) {
 	wait := t.Now() - w.waitStart
 	l.stats.WaitNs += wait
 	t.eng.Rec.LockWait(t.Proc, l.Name, w.waitStart, wait, w.holderProc)
+	t.eng.Tel.LockWait(t.Proc, l.Name, wait, w.holderProc)
 	t.Charge(s.LockEnter)
 }
 
@@ -323,6 +331,7 @@ func (l *TicketLock) Release(t *Thread) {
 	hold := t.Now() - l.heldSince
 	l.stats.HoldNs += hold
 	t.eng.Rec.LockHold(t.Proc, l.Name, l.heldSince, hold)
+	t.eng.Tel.LockHold(t.Proc, hold)
 	if len(l.queue) == 0 {
 		l.held = false
 		l.holder = nil

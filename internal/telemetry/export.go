@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SeriesJSON is the wire form of one sampled series for the time-series
+// dump: retained samples oldest-first, plus how many were lost to ring
+// overwrite.
+type SeriesJSON struct {
+	Name    string  `json:"name"`
+	Proc    int     `json:"proc"`
+	Kind    string  `json:"kind"`
+	TS      []int64 `json:"ts_ns"`
+	V       []int64 `json:"values"`
+	Dropped int64   `json:"dropped,omitempty"`
+}
+
+// Dump snapshots every registered series into its wire form, in
+// registration order. Series that never sampled are included with
+// empty sample slices so the schema is stable across run lengths.
+func (r *Registry) Dump() []SeriesJSON {
+	if r == nil {
+		return nil
+	}
+	out := make([]SeriesJSON, 0, len(r.series))
+	for _, se := range r.series {
+		ts, v := se.Samples()
+		out = append(out, SeriesJSON{
+			Name:    se.Name,
+			Proc:    se.Proc,
+			Kind:    se.Kind.String(),
+			TS:      ts,
+			V:       v,
+			Dropped: se.Dropped(),
+		})
+	}
+	return out
+}
+
+// WriteCSV writes the sampled series in long format, one row per
+// sample:
+//
+//	series,kind,proc,ts_ns,value
+//
+// Rows appear in registration order, then sample order — the same
+// deterministic order as Dump, so byte-comparing two dumps is a valid
+// equality test.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("series,kind,proc,ts_ns,value\n"); err != nil {
+		return err
+	}
+	for _, se := range r.Series() {
+		ts, v := se.Samples()
+		for i := range ts {
+			if _, err := fmt.Fprintf(bw, "%s,%s,%d,%d,%d\n",
+				se.Name, se.Kind, se.Proc, ts[i], v[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

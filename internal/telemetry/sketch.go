@@ -1,0 +1,196 @@
+package telemetry
+
+import "sort"
+
+// sketchRows is the count-min depth: four independent hash rows keep
+// the overestimate small at the flow counts the workload generator
+// produces while staying cheap per packet.
+const sketchRows = 4
+
+// sketchSeeds are fixed per-row hash seeds. Fixed seeds (never RNG)
+// keep the sketch a pure function of the packet sequence, which is what
+// makes flow attribution deterministic and worker-count invariant.
+var sketchSeeds = [sketchRows]uint64{
+	0x9e3779b97f4a7c15,
+	0xbf58476d1ce4e5b9,
+	0x94d049bb133111eb,
+	0xd6e8feb86659fd93,
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijective scramble used as
+// the per-row hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FlowStat is one attributed flow: the encoded flow id (connection in
+// the high 32 bits, generation in the low 32) with its estimated packet
+// and byte totals.
+type FlowStat struct {
+	Flow  uint64
+	Pkts  int64
+	Bytes int64
+}
+
+// FlowSketch estimates per-flow packet and byte totals with a count-min
+// sketch plus a bounded exact candidate set for the heavy hitters. The
+// sketch absorbs arbitrarily many flows in fixed memory; the candidate
+// set pins the top-K so Top can report exact identities. Everything is
+// deterministic: fixed hash seeds, slice-ordered eviction, no RNG.
+// A nil FlowSketch absorbs updates silently.
+type FlowSketch struct {
+	mask  uint64 // columns-1 (power of two)
+	pkts  [][]int64
+	bytes [][]int64
+
+	k    int
+	cand []FlowStat
+	idx  map[uint64]int // flow -> index in cand; membership only, never iterated
+}
+
+// NewFlowSketch builds a sketch with the given column count (rounded up
+// to a power of two, default 2048) tracking the top k flows exactly
+// (default 32).
+func NewFlowSketch(cols, k int) *FlowSketch {
+	if cols <= 0 {
+		cols = 2048
+	}
+	n := uint64(1)
+	for n < uint64(cols) {
+		n <<= 1
+	}
+	if k <= 0 {
+		k = 32
+	}
+	f := &FlowSketch{
+		mask: n - 1,
+		k:    k,
+		idx:  make(map[uint64]int),
+	}
+	for r := 0; r < sketchRows; r++ {
+		f.pkts = append(f.pkts, make([]int64, n))
+		f.bytes = append(f.bytes, make([]int64, n))
+	}
+	return f
+}
+
+// AddN credits pkts packets and bytes bytes to flow.
+func (f *FlowSketch) AddN(flow uint64, pkts, bytes int64) {
+	if f == nil || pkts <= 0 {
+		return
+	}
+	for r := 0; r < sketchRows; r++ {
+		i := mix64(flow^sketchSeeds[r]) & f.mask
+		f.pkts[r][i] += pkts
+		f.bytes[r][i] += bytes
+	}
+	f.promote(flow)
+}
+
+// estimate returns the count-min estimate (minimum over rows) for flow.
+func (f *FlowSketch) estimate(flow uint64) (pkts, bytes int64) {
+	for r := 0; r < sketchRows; r++ {
+		i := mix64(flow^sketchSeeds[r]) & f.mask
+		if r == 0 || f.pkts[r][i] < pkts {
+			pkts = f.pkts[r][i]
+		}
+		if r == 0 || f.bytes[r][i] < bytes {
+			bytes = f.bytes[r][i]
+		}
+	}
+	return pkts, bytes
+}
+
+// promote keeps flow in the bounded candidate set if its estimate beats
+// the current minimum. Victim selection scans the slice in index order
+// (first minimum wins), so the set's contents depend only on the update
+// sequence.
+func (f *FlowSketch) promote(flow uint64) {
+	if _, ok := f.idx[flow]; ok {
+		return
+	}
+	if len(f.cand) < f.k {
+		f.idx[flow] = len(f.cand)
+		f.cand = append(f.cand, FlowStat{Flow: flow})
+		return
+	}
+	_, bytes := f.estimate(flow)
+	min, minPkts, minBytes := 0, int64(-1), int64(-1)
+	for i := range f.cand {
+		cp, cb := f.estimate(f.cand[i].Flow)
+		if minBytes < 0 || cb < minBytes || (cb == minBytes && cp < minPkts) {
+			min, minPkts, minBytes = i, cp, cb
+		}
+	}
+	if bytes > minBytes {
+		delete(f.idx, f.cand[min].Flow)
+		f.idx[flow] = min
+		f.cand[min] = FlowStat{Flow: flow}
+	}
+}
+
+// Top returns the n heaviest tracked flows by estimated bytes
+// (ties broken by packets, then flow id), with estimates filled in.
+func (f *FlowSketch) Top(n int) []FlowStat {
+	if f == nil || n <= 0 {
+		return nil
+	}
+	out := make([]FlowStat, 0, len(f.cand))
+	for _, c := range f.cand {
+		p, b := f.estimate(c.Flow)
+		out = append(out, FlowStat{Flow: c.Flow, Pkts: p, Bytes: b})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Pkts != out[j].Pkts {
+			return out[i].Pkts > out[j].Pkts
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Tracked returns how many flows the candidate set currently pins.
+func (f *FlowSketch) Tracked() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.cand)
+}
+
+// Deliveries bundles the per-processor delivery counters and the flow
+// sketch that packet-delivery paths publish into: one nil-safe call per
+// delivery covers both. Procs beyond the slice fold onto the last slot.
+type Deliveries struct {
+	Pkts  []*Counter
+	Bytes []*Counter
+	Flows *FlowSketch
+}
+
+// Note credits pkts/bytes to processor proc and to flow.
+func (d *Deliveries) Note(proc int, flow uint64, pkts, bytes int64) {
+	if d == nil {
+		return
+	}
+	if proc < 0 {
+		proc = 0
+	}
+	if proc >= len(d.Pkts) {
+		proc = len(d.Pkts) - 1
+	}
+	if proc >= 0 {
+		d.Pkts[proc].Add(pkts)
+		d.Bytes[proc].Add(bytes)
+	}
+	d.Flows.AddN(flow, pkts, bytes)
+}

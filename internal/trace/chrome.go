@@ -4,8 +4,21 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 )
+
+// CounterTrack is one named time series exported as a Perfetto counter
+// track ("C" events) alongside the recorder's event tracks. Proc is the
+// owning virtual processor (-1 for run-global series) and only orders
+// the tracks; the track identity Perfetto groups by is Name.
+type CounterTrack struct {
+	Name string
+	Proc int
+	TS   []int64 // virtual ns
+	V    []float64
+}
 
 // WriteChromeTrace writes the recorder's buffered events in the Chrome
 // trace-event JSON format (the "JSON Array Format" with a traceEvents
@@ -15,7 +28,14 @@ import (
 // hold, delivery) export as "X" complete events; the rest export as
 // "i" instant events. Timestamps are virtual nanoseconds converted to
 // the format's microseconds (fractional µs preserved).
-func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+//
+// Optional counter tracks are merged in as "C" events, sorted by
+// (Proc, Name) so they group stably in the Perfetto track list;
+// process_sort_index/thread_sort_index metadata pins the event tracks
+// above them in processor order. The recorder may be nil when only
+// counter tracks are exported; the output is valid JSON even with no
+// events and no counters.
+func (r *Recorder) WriteChromeTrace(w io.Writer, counters ...CounterTrack) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
 		return err
@@ -29,12 +49,27 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		bw.WriteString(s)
 	}
 	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"parnet sim"}}`)
+	emit(`{"ph":"M","pid":0,"name":"process_sort_index","args":{"sort_index":0}}`)
 	for p := 0; p < r.Procs(); p++ {
 		emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"proc %d"}}`, p, p))
+		emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, p, p))
 	}
 	for p := 0; p < r.Procs(); p++ {
 		for _, e := range r.Events(p) {
 			emit(chromeEvent(e))
+		}
+	}
+	sorted := append([]CounterTrack(nil), counters...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Proc != sorted[j].Proc {
+			return sorted[i].Proc < sorted[j].Proc
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	for _, c := range sorted {
+		for i := range c.TS {
+			emit(fmt.Sprintf(`{"ph":"C","pid":0,"ts":%s,"name":%q,"args":{"value":%s}}`,
+				usec(c.TS[i]), c.Name, jsonFloat(c.V[i])))
 		}
 	}
 	if _, err := bw.WriteString("]}\n"); err != nil {
@@ -46,6 +81,15 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 // usec renders virtual nanoseconds as trace-format microseconds.
 func usec(ns int64) string {
 	return strconv.FormatFloat(float64(ns)/1000.0, 'f', 3, 64)
+}
+
+// jsonFloat renders a counter value as a JSON number (NaN/Inf, which
+// JSON cannot represent, degrade to 0).
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func chromeEvent(e Event) string {

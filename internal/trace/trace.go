@@ -21,6 +21,7 @@
 package trace
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -476,7 +477,13 @@ func (h *Histogram) Observe(v int64) {
 		h.max = v
 	}
 	h.n++
-	h.sum += v
+	// Saturating add: a histogram that absorbs MaxInt64-scale samples
+	// (or enough of them) must report MaxInt64, not a negative sum.
+	if h.sum > math.MaxInt64-v {
+		h.sum = math.MaxInt64
+	} else {
+		h.sum += v
+	}
 }
 
 // Count returns the number of samples.

@@ -239,8 +239,99 @@ func TestChromeTraceParses(t *testing.T) {
 		}
 	}
 	// 4 span records (layer, wait, hold, deliver), 6 instants, and
-	// metadata for the process plus both tracks.
-	if spans != 4 || instants != 6 || meta != 3 {
-		t.Fatalf("spans/instants/meta = %d/%d/%d, want 4/6/3", spans, instants, meta)
+	// metadata for the process plus both tracks: name and sort index
+	// for each of process, p00, p01.
+	if spans != 4 || instants != 6 || meta != 6 {
+		t.Fatalf("spans/instants/meta = %d/%d/%d, want 4/6/6", spans, instants, meta)
+	}
+}
+
+// TestChromeTraceEmptyRecorder: an empty recorder must still export a
+// valid JSON document (Perfetto refuses truncated files, so validity
+// cannot depend on at least one event existing).
+func TestChromeTraceEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(1, 4).WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty-recorder output is not valid JSON:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	var nilRec *Recorder
+	if err := nilRec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil-recorder WriteChromeTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil-recorder output is not valid JSON:\n%s", buf.String())
+	}
+}
+
+// TestChromeTraceCounterOnly: counter tracks alone (no recorder events,
+// e.g. sampling without tracing a single packet) produce a valid
+// document of "C" events, sorted by (proc, name), with non-finite
+// values degraded to zero rather than emitted as invalid JSON.
+func TestChromeTraceCounterOnly(t *testing.T) {
+	var nilRec *Recorder
+	tracks := []CounterTrack{
+		{Name: "zz", Proc: 1, TS: []int64{1000}, V: []float64{2}},
+		{Name: "aa", Proc: 1, TS: []int64{1000}, V: []float64{1}},
+		{Name: "global", Proc: -1, TS: []int64{1000, 2000}, V: []float64{3.5, math.Inf(1)}},
+	}
+	var buf bytes.Buffer
+	if err := nilRec.WriteChromeTrace(&buf, tracks...); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("counter-only output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var names []string
+	var infVal float64 = -1
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "C":
+			names = append(names, e["name"].(string))
+			if len(names) == 2 { // global's second sample (the +Inf)
+				infVal = e["args"].(map[string]any)["value"].(float64)
+			}
+		case "M": // process/track metadata is fine alongside counters
+		default:
+			t.Fatalf("unexpected phase %v in counter-only trace", e["ph"])
+		}
+	}
+	// Proc -1 sorts first, then proc 1's tracks by name.
+	want := []string{"global", "global", "aa", "zz"}
+	if len(names) != len(want) {
+		t.Fatalf("counter events = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("counter order = %v, want %v", names, want)
+		}
+	}
+	// The +Inf sample must have been written as 0.
+	if infVal != 0 {
+		t.Errorf("non-finite counter value exported as %v, want 0", infVal)
+	}
+}
+
+// TestHistogramSumSaturates: Sum must clamp at MaxInt64 instead of
+// wrapping negative when absorbing huge samples.
+func TestHistogramSumSaturates(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MaxInt64)
+	if got := h.Sum(); got != math.MaxInt64 {
+		t.Errorf("Sum after two MaxInt64 observations = %d, want MaxInt64", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d, want 2", h.Count())
+	}
+	if h.Mean() <= 0 {
+		t.Errorf("Mean = %v, want positive (saturated sum over count)", h.Mean())
 	}
 }

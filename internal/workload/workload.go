@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the traffic generator and sink. Zero fields take
@@ -206,6 +207,11 @@ type Sink struct {
 	// identity and the connection's (possibly just-migrated) consuming
 	// processor — the Flow-Director update hook.
 	Pin func(t *sim.Thread, conn int, gen uint32, proc int)
+
+	// Tel, when non-nil, receives per-processor delivery counts and
+	// per-flow sketch updates (telemetry). Publishing is nil-safe and
+	// charges no virtual time.
+	Tel *telemetry.Deliveries
 }
 
 // NewSink builds the sink for conns connections on procs processors.
@@ -289,6 +295,7 @@ func (k *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 	}
 	appProc := int(cs.appProc)
 	k.lock.Release(t)
+	k.Tel.Note(t.Proc, uint64(conn)<<32|uint64(gen), int64(segs), int64(segs)*int64(stride))
 	if k.Pin != nil {
 		k.Pin(t, conn, gen, appProc)
 	}

@@ -284,6 +284,12 @@ type Config struct {
 	// sweep points fan across (0 means GOMAXPROCS). Results are
 	// byte-identical for every value.
 	Workers int
+
+	// SamplePeriodUs turns on virtual-time telemetry sampling with the
+	// given period in virtual microseconds (0: off). Sampling is purely
+	// observational: it charges no virtual time, so measurements are
+	// byte-identical with and without it.
+	SamplePeriodUs int64
 }
 
 // DefaultConfig is the paper's baseline: UDP send side, one processor,
@@ -474,6 +480,7 @@ func (c Config) toCore() (core.Config, error) {
 			FlushTimeoutNs: c.Batch.FlushTimeoutUs * 1_000,
 		}
 	}
+	cfg.SamplePeriodNs = c.SamplePeriodUs * 1_000
 	return cfg, nil
 }
 
