@@ -32,25 +32,28 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments")
-		exp      = flag.String("experiment", "", "experiment ID (see -list), comma-separated, or 'all'")
-		maxProcs = flag.Int("maxprocs", 8, "sweep processor counts 1..N")
-		warmup   = flag.Int64("warmup", 1000, "virtual warm-up per run, ms")
-		measureD = flag.Int64("measure", 2000, "virtual measurement interval per run, ms")
-		runs     = flag.Int("runs", 3, "runs averaged per data point")
-		seed     = flag.Uint64("seed", 1994, "base PRNG seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot     = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
-		quick    = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
-		procs    = flag.Int("procs", 0, "host worker threads to fan simulation points across (0 = GOMAXPROCS); output is identical for every value")
-		loss     = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
-		batch    = flag.String("batch", "", "ext-batch: comma-separated batch sizes (MaxSegs), e.g. 1,4,8,16; 1 means batching off")
-		jsonOut  = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
-		tsOut    = flag.String("timeseries", "", "run the profile suite with telemetry sampling on and write the per-run time series (JSON) to FILE ('-' for stdout)")
-		sampleNs = flag.Int64("sample", 0, "with -timeseries: telemetry sampling period, virtual ns (0: default 1000000)")
-		benchOut = flag.String("bench", "", "run the host wall-clock benchmark suite and write the report to FILE ('-' for stdout)")
-		baseline = flag.String("baseline", "", "with -bench: compare against this baseline report, exit non-zero if a sweep regresses")
-		ratchet  = flag.Float64("ratchet", 2.0, "with -baseline: fail when a sweep's wall time exceeds this factor times the baseline")
+		list        = flag.Bool("list", false, "list available experiments")
+		exp         = flag.String("experiment", "", "experiment ID (see -list), comma-separated, or 'all'")
+		maxProcs    = flag.Int("maxprocs", 8, "sweep processor counts 1..N")
+		warmup      = flag.Int64("warmup", 1000, "virtual warm-up per run, ms")
+		measureD    = flag.Int64("measure", 2000, "virtual measurement interval per run, ms")
+		runs        = flag.Int("runs", 3, "runs averaged per data point")
+		seed        = flag.Uint64("seed", 1994, "base PRNG seed")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot        = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
+		quick       = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
+		procs       = flag.Int("procs", 0, "host worker threads to fan simulation points across (0 = GOMAXPROCS); output is identical for every value")
+		loss        = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
+		batch       = flag.String("batch", "", "ext-batch: comma-separated batch sizes (MaxSegs), e.g. 1,4,8,16; 1 means batching off")
+		conns       = flag.String("conns", "", "ext-scale: comma-separated connection ladder, e.g. 1000,10000,100000")
+		scaleOut    = flag.String("scale", "", "run the scale benchmark (ext-scale ladders with per-point host wall-clock) and write BENCH_scale JSON to FILE ('-' for stdout)")
+		scaleBudget = flag.Int64("scale-budget-ms", 0, "with -scale: fail if the largest ladder point's host wall-clock exceeds this many ms (0: no budget)")
+		jsonOut     = flag.String("json", "", "run the traced profile suite and write per-run ProfileJSON records to FILE ('-' for stdout)")
+		tsOut       = flag.String("timeseries", "", "run the profile suite with telemetry sampling on and write the per-run time series (JSON) to FILE ('-' for stdout)")
+		sampleNs    = flag.Int64("sample", 0, "with -timeseries: telemetry sampling period, virtual ns (0: default 1000000)")
+		benchOut    = flag.String("bench", "", "run the host wall-clock benchmark suite and write the report to FILE ('-' for stdout)")
+		baseline    = flag.String("baseline", "", "with -bench: compare against this baseline report, exit non-zero if a sweep regresses")
+		ratchet     = flag.Float64("ratchet", 2.0, "with -baseline: fail when a sweep's wall time exceeds this factor times the baseline")
 	)
 	flag.Parse()
 
@@ -58,8 +61,8 @@ func main() {
 		printCatalog(os.Stdout)
 		return
 	}
-	if *exp == "" && *jsonOut == "" && *benchOut == "" && *tsOut == "" {
-		fmt.Fprintln(os.Stderr, "ppbench: -experiment, -json, -timeseries, or -bench required (or -list); try -experiment all")
+	if *exp == "" && *jsonOut == "" && *benchOut == "" && *tsOut == "" && *scaleOut == "" {
+		fmt.Fprintln(os.Stderr, "ppbench: -experiment, -json, -timeseries, -bench, or -scale required (or -list); try -experiment all")
 		os.Exit(2)
 	}
 
@@ -92,6 +95,27 @@ func main() {
 				os.Exit(2)
 			}
 			p.BatchSizes = append(p.BatchSizes, n)
+		}
+	}
+	if *conns != "" {
+		p.ScaleConns = nil
+		for _, f := range strings.Split(*conns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "ppbench: bad -conns count %q (want integers >= 1)\n", f)
+				os.Exit(2)
+			}
+			p.ScaleConns = append(p.ScaleConns, n)
+		}
+	}
+
+	if *scaleOut != "" {
+		if err := runScaleBench(*scaleOut, *scaleBudget, p); err != nil {
+			fmt.Fprintf(os.Stderr, "ppbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" && *jsonOut == "" && *tsOut == "" && *benchOut == "" {
+			return
 		}
 	}
 
@@ -173,12 +197,16 @@ Flag groups:
                (-quick: fast smoke parameters, overriding the others)
   ladders      -loss R[,R...]   ext-loss loss-rate ladder override
                -batch N[,N...]  ext-batch MaxSegs ladder override (1 = off)
+               -conns N[,N...]  ext-scale connection-ladder override
   output       -csv -plot
   suites       -json FILE        traced profile suite (ProfileJSON records)
                -timeseries FILE  profile suite with telemetry sampling on;
                                  per-run time series as JSON ('-' = stdout)
                -sample NS        sampling period for -timeseries (default 1e6)
                -bench FILE -baseline FILE -ratchet F   host wall-clock suite
+               -scale FILE       scale benchmark (ext-scale ladders + per-point
+                                 host wall-clock); -scale-budget-ms M fails if
+                                 the largest point exceeds M ms on the host
   host         -procs N  worker threads to fan points across (0 = GOMAXPROCS);
                output is byte-identical for every value
 `)
@@ -240,6 +268,53 @@ func runHostBench(path, basePath string, factor float64) error {
 		return fmt.Errorf("%d benchmark regression(s) vs %s", len(failures), basePath)
 	}
 	fmt.Printf("== ratchet: no sweep regression vs %s (factor %.1f)\n\n", basePath, factor)
+	return nil
+}
+
+// runScaleBench measures the ext-scale ladders with per-point host
+// wall-clock, writes the BENCH_scale JSON artifact to path ("-" for
+// stdout), and optionally enforces a wall-clock budget on the largest
+// (100k-connection class) ladder point.
+func runScaleBench(path string, budgetMs int64, p experiments.Params) error {
+	start := time.Now()
+	bench, err := experiments.RunScaleBench(p)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		if _, err := os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("== scale benchmark: %d UDP points, %d TCP points -> %s (%s wall time)\n",
+			len(bench.Ladder), len(bench.TCP), path, time.Since(start).Round(time.Millisecond))
+		for _, pt := range bench.Ladder {
+			fmt.Printf("   udp %7d conns %8.1f Mbit/s %8.1f kpkts/s %8.0f B/conn  evicts fd=%d sink=%d  (%d ms host)\n",
+				pt.Conns, pt.Mbps, pt.KPktsPerSec, pt.BytesPerConn, pt.FlowEvicts, pt.SinkEvicts, pt.HostMs)
+		}
+		for _, pt := range bench.TCP {
+			fmt.Printf("   tcp %7d conns  scan %6.1f / wheel %6.1f Mbit/s  (%d ms host)\n",
+				pt.Conns, pt.ScanMbps, pt.WheelMbps, pt.HostMs)
+		}
+		fmt.Println()
+	}
+	if budgetMs > 0 && len(bench.Ladder) > 0 {
+		last := bench.Ladder[len(bench.Ladder)-1]
+		if last.HostMs > budgetMs {
+			return fmt.Errorf("scale budget: %d-connection point took %d ms on the host (budget %d ms)",
+				last.Conns, last.HostMs, budgetMs)
+		}
+		fmt.Printf("== scale budget: %d-connection point %d ms <= %d ms\n\n",
+			last.Conns, last.HostMs, budgetMs)
+	}
 	return nil
 }
 

@@ -37,6 +37,10 @@ configured.
 Flag groups:
   workload       -proto -side -procs -conns -size -checksum -lock
                  -layout -strategy -warmup -measure -seed
+  scale-out      -timerwheel -pool -buckets -active -compactslots
+                 (hierarchical TCP timer wheel, pooled TCBs, demux
+                 table sizing, idle-connection ladder, bounded sink
+                 accounting)
   fault wire     -drop -dup -corrupt -reorder -delay -delayns
                  -fault-seed -enforce-checksum
   flow steering  -steer -hot -hotconns -gap -flowpkts -appmove -quiesce
@@ -45,7 +49,8 @@ Flag groups:
 
 Examples:
   xkprof -proto tcp -side recv -procs 8 -lock mcs
-  xkprof -steer rebalance -hot 80 -hotconns 4 -procs 4
+  xkprof -proto tcp -side recv -conns 4096 -active 8 -timerwheel -pool
+  xkprof -steer fdir -conns 100000 -compactslots 8192 -flowpkts 512
   xkprof -batch -batchsegs 8 -proto udp -side recv
   xkprof -trace out.json -sample 1000000 -series series.csv
 
@@ -68,6 +73,13 @@ func main() {
 		warmupMs  = flag.Int64("warmup", 500, "virtual warm-up, ms")
 		measureMs = flag.Int64("measure", 1000, "virtual measurement interval, ms")
 		seed      = flag.Uint64("seed", 1994, "PRNG seed")
+
+		// Million-flow scale-out.
+		timerwheel   = flag.Bool("timerwheel", false, "TCP: hierarchical timing wheel instead of scan-based timers (O(expiring) per tick)")
+		pool         = flag.Bool("pool", false, "TCP: recycle time-wait-reaped connection state through a free list (needs -timerwheel)")
+		buckets      = flag.Int("buckets", 0, "transport demux hash buckets (0: sized from -conns)")
+		active       = flag.Int("active", 0, "pump only the first N connections; the rest stay established but idle (0: all)")
+		compactSlots = flag.Int("compactslots", 0, "steered sink: bound exact per-flow accounting to a direct-mapped table of N slots (0: exact)")
 
 		// Fault-injection wire (applied to the data direction for the
 		// chosen side: inbound for recv, outbound for send).
@@ -172,6 +184,7 @@ func main() {
 		cfg.Workload.ArrivalGapNs = *gapNs
 		cfg.Workload.MeanFlowPkts = *flowPkts
 		cfg.Workload.AppMoveEvery = *appMove
+		cfg.Workload.CompactSlots = *compactSlots
 	}
 	if *batch {
 		cfg.Batch = msg.BatchConfig{
@@ -186,6 +199,10 @@ func main() {
 	cfg.PacketSize = *size
 	cfg.Checksum = *checksum
 	cfg.EnforceChecksum = *enforce
+	cfg.TimerWheel = *timerwheel
+	cfg.PoolTCBs = *pool
+	cfg.DemuxBuckets = *buckets
+	cfg.ActiveConns = *active
 	cfg.Seed = *seed
 	if *traceOut != "" {
 		cfg.Trace = true

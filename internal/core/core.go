@@ -103,6 +103,26 @@ type Config struct {
 	NoHeaderPrediction bool
 	AckEvery           int
 	Window             uint32
+	// TimerWheel replaces TCP's scan-based slow/fast timers with the
+	// hierarchical timing wheel: per-TCB scheduled events, so a tick
+	// costs O(expiring timers) instead of O(connections). Off by
+	// default — the scan path is the paper's measured baseline and
+	// stays byte-identical to the seed.
+	TimerWheel bool
+	// PoolTCBs recycles time-wait-reaped connection state through a
+	// free list (wheel mode only), bounding allocation churn under
+	// connection turnover.
+	PoolTCBs bool
+	// DemuxBuckets overrides the transport demux hash size. 0 sizes it
+	// from the connection count — max(64, next power of two >= 2x
+	// Connections) — so chains stay short at 100k connections without
+	// growth (growth reorders scan-mode timer iteration).
+	DemuxBuckets int
+	// ActiveConns caps how many connections the pumps drive; the rest
+	// stay established but idle — the timer-scale ladder, where idle
+	// connections cost the scan timers O(N) per tick and the wheel
+	// nothing. 0 drives all connections.
+	ActiveConns int
 
 	// Infrastructure structure.
 	MsgCache   bool
@@ -381,6 +401,7 @@ func Build(cfg Config) (*Stack, error) {
 			RefMode:    cfg.RefMode,
 			MapLocking: cfg.MapLocking,
 			MapNoCache: !cfg.MapCache,
+			Buckets:    demuxBuckets(&cfg),
 		}, udpOpener{s.IP})
 	case ProtoTCP:
 		s.TCP = tcp.New(tcp.Config{
@@ -395,6 +416,9 @@ func Build(cfg Config) (*Stack, error) {
 			Window:             cfg.Window,
 			NoHeaderPrediction: cfg.NoHeaderPrediction,
 			AckEvery:           cfg.AckEvery,
+			TimerWheel:         cfg.TimerWheel,
+			PoolTCBs:           cfg.PoolTCBs,
+			Buckets:            demuxBuckets(&cfg),
 		}, tcpOpener{s.IP}, s.Alloc, s.Wheel)
 	}
 
@@ -407,6 +431,29 @@ func Build(cfg Config) (*Stack, error) {
 		s.buildTelemetry()
 	}
 	return s, nil
+}
+
+// demuxBuckets returns the transport demux table size: the configured
+// override, or enough buckets that the expected connection count keeps
+// chains short without growth. The floor of 64 (the x-kernel default)
+// keeps every existing small-connection shape on the seed's table size.
+func demuxBuckets(cfg *Config) int {
+	if cfg.DemuxBuckets > 0 {
+		return cfg.DemuxBuckets
+	}
+	b := 64
+	for b < 2*cfg.Connections {
+		b <<= 1
+	}
+	return b
+}
+
+// activeConns returns how many connections the pumps drive.
+func activeConns(cfg *Config) int {
+	if cfg.ActiveConns > 0 && cfg.ActiveConns < cfg.Connections {
+		return cfg.ActiveConns
+	}
+	return cfg.Connections
 }
 
 // udpOpener and tcpOpener adapt *ip.Protocol to the transports'
@@ -563,7 +610,7 @@ func (s *Stack) FaultStats() driver.FaultStats {
 // pump is one processor's protocol thread.
 func (s *Stack) pump(t *sim.Thread, p int) {
 	cfg := &s.Cfg
-	conn := p % cfg.Connections
+	conn := p % activeConns(cfg)
 	n := 0
 	for !s.stop.Get() {
 		c := conn
@@ -662,6 +709,10 @@ type RunResult struct {
 	// SteerDrops counts arrivals dropped on a full dispatch ring
 	// during the measurement interval.
 	SteerDrops int64
+	// SinkEvicts counts compact accounting-table evictions at the
+	// workload sink during the measurement interval (0 unless
+	// Workload.CompactSlots bounds the table).
+	SinkEvicts int64
 	// BatchFrames counts merged frames injected during the measurement
 	// interval (batching runs only; a one-segment flush still counts).
 	BatchFrames int64
@@ -845,6 +896,7 @@ func AggregateRuns(rrs []RunResult) (measure.Result, RunResult) {
 		agg.SteerMigrates += res.SteerMigrates
 		agg.FlowEvicts += res.FlowEvicts
 		agg.SteerDrops += res.SteerDrops
+		agg.SinkEvicts += res.SinkEvicts
 		agg.BatchFrames += res.BatchFrames
 		agg.BatchSegs += res.BatchSegs
 	}

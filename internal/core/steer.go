@@ -219,9 +219,10 @@ func (s *Stack) closeSteerQueues(t *sim.Thread) {
 
 // steerSnap is one steering metrics snapshot.
 type steerSnap struct {
-	perProc []int64
-	stats   steer.Stats
-	drops   int64
+	perProc    []int64
+	stats      steer.Stats
+	drops      int64
+	sinkEvicts int64
 }
 
 // steerSnapshot captures the cumulative steering counters (zero value
@@ -232,9 +233,10 @@ func (s *Stack) steerSnapshot() steerSnap {
 		return steerSnap{}
 	}
 	sn := steerSnap{
-		perProc: s.steerSink.PerProc(),
-		stats:   s.steerer.Stats(),
-		drops:   s.steerDrops,
+		perProc:    s.steerSink.PerProc(),
+		stats:      s.steerer.Stats(),
+		drops:      s.steerDrops,
+		sinkEvicts: s.steerSink.Evictions(),
 	}
 	s.steerer.ResetPeak()
 	return sn
@@ -261,4 +263,5 @@ func applySteerMetrics(res *RunResult, a, b steerSnap) {
 	res.SteerMigrates = (b.stats.Moves + b.stats.Repins) - (a.stats.Moves + a.stats.Repins)
 	res.FlowEvicts = b.stats.Evictions - a.stats.Evictions
 	res.SteerDrops = b.drops - a.drops
+	res.SinkEvicts = b.sinkEvicts - a.sinkEvicts
 }

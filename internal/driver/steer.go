@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/msg"
@@ -18,7 +19,13 @@ import (
 type SteerSource struct {
 	up    xkernel.Upper
 	alloc *msg.Allocator
-	tmpl  [][]byte
+	conns int
+
+	// All connections share one template: frames differ only in the UDP
+	// port pair (patched per produce) and the payload stamp, so the
+	// driver's memory footprint stays O(1) at 100k+ connections instead
+	// of one full frame per connection.
+	tmpl []byte
 
 	// NIC production counters (engine-serialized; telemetry gauges read
 	// them through Produced).
@@ -26,15 +33,14 @@ type SteerSource struct {
 	producedBytes int64
 }
 
-// NewSteerSource builds one template per connection. payload must be at
+// NewSteerSource builds the shared frame template. payload must be at
 // least workload.StampLen bytes.
 func NewSteerSource(alloc *msg.Allocator, payload, conns int) *SteerSource {
-	s := &SteerSource{alloc: alloc}
-	for i := 0; i < conns; i++ {
-		s.tmpl = append(s.tmpl,
-			udpTemplate(payload, HostPeer, HostLocal, PeerPort(i), LocalPort(i)))
+	return &SteerSource{
+		alloc: alloc,
+		conns: conns,
+		tmpl:  udpTemplate(payload, HostPeer, HostLocal, PeerPort(0), LocalPort(0)),
 	}
-	return s
 }
 
 // SetUpper connects the source to the MAC layer it injects into.
@@ -61,8 +67,7 @@ func (s *SteerSource) Produce(t *sim.Thread, a workload.Arrival) (*msg.Message, 
 // ProduceGrow is Produce with grow bytes of tailroom reserved for GRO
 // merging when the frame becomes a batch head.
 func (s *SteerSource) ProduceGrow(t *sim.Thread, a workload.Arrival, grow int) (*msg.Message, error) {
-	tmpl := s.tmpl[a.Conn%len(s.tmpl)]
-	m, err := s.alloc.New(t, len(tmpl)+grow, 0)
+	m, err := s.alloc.New(t, len(s.tmpl)+grow, 0)
 	if err != nil {
 		return nil, fmt.Errorf("driver: steer source: %w", err)
 	}
@@ -74,11 +79,17 @@ func (s *SteerSource) ProduceGrow(t *sim.Thread, a workload.Arrival, grow int) (
 	}
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.DriverRXGen)
-	if err := m.CopyTemplate(0, tmpl); err != nil {
+	if err := m.CopyTemplate(0, s.tmpl); err != nil {
 		m.Free(t)
 		return nil, err
 	}
-	workload.EncodeStamp(m.Bytes()[udpFrameHdr:], a.Conn, a.Seq, a.Gen)
+	// Patch the connection's port pair into the copied frame (the only
+	// bytes that vary between connections besides the stamp).
+	conn := a.Conn % s.conns
+	b := m.Bytes()
+	binary.BigEndian.PutUint16(b[offUDP+0:], PeerPort(conn))
+	binary.BigEndian.PutUint16(b[offUDP+2:], LocalPort(conn))
+	workload.EncodeStamp(b[udpFrameHdr:], a.Conn, a.Seq, a.Gen)
 	m.Born = t.Now()
 	t.Engine().Rec.Arrive(t.Proc, m.Born, int64(a.Conn))
 	s.produced++
@@ -94,12 +105,12 @@ func (s *SteerSource) Produced() (frames, bytes int64) {
 // PayloadLen returns connection conn's UDP payload size — the unit a
 // merged frame grows by per coalesced segment.
 func (s *SteerSource) PayloadLen(conn int) int {
-	return len(s.tmpl[conn%len(s.tmpl)]) - udpFrameHdr
+	return len(s.tmpl) - udpFrameHdr
 }
 
 // FrameLen returns connection conn's full template frame length.
 func (s *SteerSource) FrameLen(conn int) int {
-	return len(s.tmpl[conn%len(s.tmpl)])
+	return len(s.tmpl)
 }
 
 // BatchGrow exposes the head-frame tailroom reservation for conn under

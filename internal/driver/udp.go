@@ -15,11 +15,15 @@ var (
 	HostPeer  = xkernel.IPAddr{10, 0, 0, 2}
 )
 
-// LocalPort and PeerPort name connection i's ports.
+// LocalPort and PeerPort name connection i's ports. The pair must stay
+// unique per connection (it is the demux key): the local port wraps
+// every 64 Ki connections, so the peer port advances by one extra step
+// per wrap, keeping (local, peer) injective for any i below 2^32 while
+// matching the historical 1000+i / 2000+i values for i < 65536.
 func LocalPort(i int) uint16 { return uint16(1000 + i) }
 
 // PeerPort returns the simulated peer's port for connection i.
-func PeerPort(i int) uint16 { return uint16(2000 + i) }
+func PeerPort(i int) uint16 { return uint16(2000 + i + i>>16) }
 
 // UDPSink consumes outbound frames as fast as possible — the send-side
 // UDP test's "receiver". The adaptor ring serializes per-frame DMA

@@ -1,0 +1,196 @@
+package event
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// run1 drives body on a single engine thread.
+func run1(t *testing.T, seed uint64, body func(th *sim.Thread)) {
+	t.Helper()
+	e := newEngine(seed)
+	e.Spawn("t", 0, body)
+	e.Run()
+}
+
+func TestTickWheelFiresAtDeadline(t *testing.T) {
+	run1(t, 1, func(th *sim.Thread) {
+		w := NewTickWheel(sim.KindMutex, "tw")
+		deadlines := []int64{1, 2, 63, 64, 65, 100, 4095, 4096, 4097, 100_000}
+		nodes := make([]TimerNode, len(deadlines))
+		for i, d := range deadlines {
+			nodes[i] = TimerNode{Arg: i}
+			w.Arm(th, &nodes[i], d)
+		}
+		firedAt := make(map[int]int64)
+		for tick := int64(1); tick <= 100_001; tick++ {
+			for _, n := range w.Advance(th, tick, nil) {
+				if _, dup := firedAt[n.Arg.(int)]; dup {
+					t.Errorf("node %d fired twice", n.Arg.(int))
+				}
+				firedAt[n.Arg.(int)] = tick
+			}
+		}
+		for i, d := range deadlines {
+			if firedAt[i] != d {
+				t.Errorf("node %d: fired at tick %d, want %d", i, firedAt[i], d)
+			}
+		}
+		if w.Pending() != 0 {
+			t.Errorf("pending = %d after all fired", w.Pending())
+		}
+	})
+}
+
+func TestTickWheelBatchedAdvance(t *testing.T) {
+	// Advancing many ticks at once delivers everything due, in
+	// deadline-reachable order within the advance.
+	run1(t, 2, func(th *sim.Thread) {
+		w := NewTickWheel(sim.KindMutex, "tw")
+		deadlines := []int64{5, 70, 70, 4100, 9000}
+		nodes := make([]TimerNode, len(deadlines))
+		for i, d := range deadlines {
+			nodes[i] = TimerNode{Arg: i}
+			w.Arm(th, &nodes[i], d)
+		}
+		due := w.Advance(th, 10_000, nil)
+		if len(due) != len(deadlines) {
+			t.Fatalf("got %d due nodes, want %d", len(due), len(deadlines))
+		}
+		var got []int64
+		for _, n := range due {
+			got = append(got, n.Deadline())
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Errorf("batched advance fired out of deadline order: %v", got)
+		}
+	})
+}
+
+func TestTickWheelPastDeadlineFiresNextTick(t *testing.T) {
+	run1(t, 3, func(th *sim.Thread) {
+		w := NewTickWheel(sim.KindMutex, "tw")
+		w.Advance(th, 500, nil)
+		var n TimerNode
+		w.Arm(th, &n, 300) // already past: must fire on tick 501
+		due := w.Advance(th, 501, nil)
+		if len(due) != 1 || due[0] != &n {
+			t.Fatalf("past-deadline node did not fire on next tick (due=%v)", due)
+		}
+	})
+}
+
+func TestTickWheelCancel(t *testing.T) {
+	run1(t, 4, func(th *sim.Thread) {
+		w := NewTickWheel(sim.KindMutex, "tw")
+		var a, b TimerNode
+		w.Arm(th, &a, 10)
+		w.Arm(th, &b, 10)
+		if !w.Cancel(th, &a) {
+			t.Error("cancel of armed node returned false")
+		}
+		if w.Cancel(th, &a) {
+			t.Error("cancel of idle node returned true")
+		}
+		due := w.Advance(th, 20, nil)
+		if len(due) != 1 || due[0] != &b {
+			t.Fatalf("due = %v, want only the uncancelled node", due)
+		}
+	})
+}
+
+func TestTickWheelRearmMovesDeadline(t *testing.T) {
+	run1(t, 5, func(th *sim.Thread) {
+		w := NewTickWheel(sim.KindMutex, "tw")
+		var n TimerNode
+		w.Arm(th, &n, 50)
+		w.Arm(th, &n, 200) // push out
+		if due := w.Advance(th, 100, nil); len(due) != 0 {
+			t.Fatalf("node fired at old deadline after re-arm")
+		}
+		due := w.Advance(th, 200, nil)
+		if len(due) != 1 || due[0].Deadline() != 200 {
+			t.Fatalf("re-armed node did not fire at new deadline")
+		}
+		w.Arm(th, &n, 400)
+		w.Arm(th, &n, 300) // pull in
+		due = w.Advance(th, 300, nil)
+		if len(due) != 1 {
+			t.Fatalf("pulled-in node did not fire at the earlier deadline")
+		}
+	})
+}
+
+// TestTickWheelMatchesNaiveList is the property test: a pseudo-random
+// schedule of arms, cancels and advances must fire exactly the same
+// (node, tick) pairs as a naive O(n)-scan deadline list.
+func TestTickWheelMatchesNaiveList(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		run1(t, seed, func(th *sim.Thread) {
+			w := NewTickWheel(sim.KindMutex, "tw")
+			rng := sim.NewRand(seed * 977)
+			const nNodes = 256
+			nodes := make([]TimerNode, nNodes)
+			naive := make([]int64, nNodes) // 0 = idle, else deadline
+			for i := range nodes {
+				nodes[i] = TimerNode{Arg: i}
+			}
+			now := int64(0)
+			for step := 0; step < 4000; step++ {
+				i := int(rng.Uint64() % nNodes)
+				switch rng.Uint64() % 4 {
+				case 0, 1: // arm at a delta spanning all three levels
+					d := now + 1 + int64(rng.Uint64()%8192)
+					w.Arm(th, &nodes[i], d)
+					naive[i] = d
+				case 2: // cancel
+					got := w.Cancel(th, &nodes[i])
+					want := naive[i] != 0
+					if got != want {
+						t.Fatalf("seed %d step %d: cancel=%v, naive=%v", seed, step, got, want)
+					}
+					naive[i] = 0
+				case 3: // advance 1..16 ticks
+					now += 1 + int64(rng.Uint64()%16)
+					fired := map[int]bool{}
+					for _, n := range w.Advance(th, now, nil) {
+						fired[n.Arg.(int)] = true
+					}
+					for j := range naive {
+						want := naive[j] != 0 && naive[j] <= now
+						if fired[j] != want {
+							t.Fatalf("seed %d step %d tick %d: node %d fired=%v, naive deadline %d",
+								seed, step, now, j, fired[j], naive[j])
+						}
+						if want {
+							naive[j] = 0
+						}
+					}
+					if len(fired) > 0 {
+						for j := range fired {
+							if naive[j] != 0 {
+								t.Fatalf("fired node %d still armed in naive model", j)
+							}
+						}
+					}
+				}
+				if int(w.Pending()) != countArmed(naive) {
+					t.Fatalf("seed %d step %d: pending=%d, naive=%d",
+						seed, step, w.Pending(), countArmed(naive))
+				}
+			}
+		})
+	}
+}
+
+func countArmed(naive []int64) int {
+	n := 0
+	for _, d := range naive {
+		if d != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -30,6 +30,9 @@ type Params struct {
 	// BatchSizes overrides the ext-batch MaxSegs ladder (default
 	// {1, 4, 8}; 1 means batching off); other experiments ignore it.
 	BatchSizes []int
+	// ScaleConns overrides the ext-scale connection ladder (default
+	// {1000, 10000, 100000}); other experiments ignore it.
+	ScaleConns []int
 	// Workers bounds the host OS threads the runner fans independent
 	// simulation points across (0 means GOMAXPROCS). Results are
 	// byte-identical for every value — see pool.go.
@@ -54,11 +57,12 @@ func DefaultParams() Params {
 // QuickParams is for smoke runs and tests.
 func QuickParams() Params {
 	return Params{
-		MaxProcs:  4,
-		WarmupNs:  300_000_000,
-		MeasureNs: 500_000_000,
-		Runs:      1,
-		Seed:      1994,
+		MaxProcs:   4,
+		WarmupNs:   300_000_000,
+		MeasureNs:  500_000_000,
+		Runs:       1,
+		Seed:       1994,
+		ScaleConns: []int{256, 2048},
 	}
 }
 
@@ -329,6 +333,12 @@ func specs() []Spec {
 			Figures: "(extension; receive-side GRO batching)",
 			Brief:   "Receive-side segment coalescing: batch size vs lock kind vs skew, plus steering + batching combined",
 			Run:     runExtBatch,
+		},
+		{
+			ID:      "ext-scale",
+			Figures: "(extension; hierarchical timing wheel + pooled state)",
+			Brief:   "Million-flow scale-out: idle-connection timer cost scan vs wheel, steered UDP swept 1k-100k connections",
+			Run:     runExtScale,
 		},
 		{
 			ID:      "ablation-wheel",

@@ -16,11 +16,12 @@ import (
 // multiple points, variants and repeat runs.
 func parTiny() Params {
 	return Params{
-		MaxProcs:  3,
-		WarmupNs:  50_000_000,
-		MeasureNs: 100_000_000,
-		Runs:      2,
-		Seed:      7,
+		MaxProcs:   3,
+		WarmupNs:   50_000_000,
+		MeasureNs:  100_000_000,
+		Runs:       2,
+		Seed:       7,
+		ScaleConns: []int{64, 256},
 	}
 }
 
@@ -54,7 +55,7 @@ func runWithWorkers(t *testing.T, id string, workers int) string {
 // the GRO batching family — at 1, 4 and 13 workers and requires
 // byte-identical tables.
 func TestWorkersInvariance(t *testing.T) {
-	for _, id := range []string{"fig08-09", "table1", "ext-strategies", "ext-loss", "ext-steer", "ext-batch"} {
+	for _, id := range []string{"fig08-09", "table1", "ext-strategies", "ext-loss", "ext-steer", "ext-batch", "ext-scale"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,235 @@
+package experiments
+
+// ext-scale: million-flow scale-out. The paper's tests stop at one
+// connection per processor; this extension ratchets the connection
+// count to 100k+ and measures what breaks. Two ladders:
+//
+//   - TCP receive with idle connections: N connections complete their
+//     handshakes but only the first Procs are pumped. The seed's
+//     scan-based timers walk every TCB each 200/500 ms virtual tick
+//     while holding the demux map lock, so idle connections tax every
+//     arriving packet; the hierarchical timing wheel makes a tick cost
+//     O(expiring timers) and the idle ladder flat.
+//
+//   - Steered UDP scale-out: the many-connection steering workload with
+//     the connection count swept 1k -> 100k+. Exact per-flow state is
+//     bounded (Flow Director's table, the sink's compact direct-mapped
+//     accounting table); totals come from the sketch-backed telemetry.
+//     The demux table is sized from the connection count, the driver
+//     keeps one shared frame template, so per-connection cost is a map
+//     entry plus generator state.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/steer"
+)
+
+// scaleLadder is the steered-UDP connection ladder (Params.ScaleConns
+// overrides).
+func scaleLadder(p Params) []int {
+	if len(p.ScaleConns) > 0 {
+		return p.ScaleConns
+	}
+	return []int{1_000, 10_000, 100_000}
+}
+
+// tcpScaleLadder derives the TCP idle-connection ladder: capped at 8192
+// (every connection completes a full virtual handshake at setup) and
+// deduplicated.
+func tcpScaleLadder(p Params) []int {
+	var out []int
+	for _, n := range scaleLadder(p) {
+		if n > 8192 {
+			n = 8192
+		}
+		if len(out) == 0 || out[len(out)-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// scaleTCP configures one TCP idle-connection point: conns established,
+// only the first Procs pumped.
+func scaleTCP(p Params, conns int, wheel, pool bool) core.Config {
+	cfg := baselineTCP(core.SideRecv)
+	cfg.PacketSize = 1024
+	cfg.Checksum = false
+	cfg.Procs = p.MaxProcs
+	cfg.Connections = conns
+	cfg.ActiveConns = p.MaxProcs
+	cfg.TimerWheel = wheel
+	cfg.PoolTCBs = pool
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// scaleUDP configures one steered scale-out point: Flow Director
+// steering, churning flows, bounded exact accounting.
+func scaleUDP(p Params, conns int) core.Config {
+	cfg := steeredUDP(steer.PolicyFlowDirector, conns)
+	cfg.Procs = p.MaxProcs
+	cfg.Seed = p.Seed
+	cfg.Workload.ArrivalGapNs = steerGapNs / int64(p.MaxProcs)
+	cfg.Workload.CompactSlots = 8192
+	return cfg
+}
+
+func runExtScale(p Params) ([]measure.Table, error) {
+	tcpLadder := tcpScaleLadder(p)
+	udpLadder := scaleLadder(p)
+
+	// TCP idle-connection ladder, three timer variants. All points are
+	// in flight on the worker pool at once.
+	tcpVariants := []struct {
+		label       string
+		wheel, pool bool
+	}{
+		{"scan timers (seed)", false, false},
+		{"timing wheel", true, false},
+		{"wheel + pooled TCBs", true, true},
+	}
+	var tcpLabels []string
+	var tcpFuts [][]*pointFuture
+	for _, v := range tcpVariants {
+		var fs []*pointFuture
+		for _, n := range tcpLadder {
+			fs = append(fs, submitPoint(scaleTCP(p, n, v.wheel, v.pool), p))
+		}
+		tcpLabels = append(tcpLabels, v.label)
+		tcpFuts = append(tcpFuts, fs)
+	}
+
+	// Steered UDP connection scale-out.
+	var udpFuts []*pointFuture
+	for _, n := range udpLadder {
+		udpFuts = append(udpFuts, submitPoint(scaleUDP(p, n), p))
+	}
+
+	tcpSeries, err := awaitAll(tcpLabels, tcpFuts)
+	if err != nil {
+		return nil, err
+	}
+	udpTput := measure.Series{Label: "Flow Director"}
+	kpkts := measure.Series{Label: "kpkts/s"}
+	bytesPerConn := measure.Series{Label: "KB/conn"}
+	evicts := measure.Series{Label: "FD evictions (k)"}
+	sinkEvicts := measure.Series{Label: "sink evictions (k)"}
+	for i, f := range udpFuts {
+		pv, err := f.wait()
+		if err != nil {
+			return nil, err
+		}
+		x := i + 1
+		udpTput.X = append(udpTput.X, x)
+		udpTput.Points = append(udpTput.Points, pv.res)
+		kpkts.X = append(kpkts.X, x)
+		kpkts.Points = append(kpkts.Points,
+			measure.Result{Mean: float64(pv.agg.Packets) * 1e6 / float64(p.MeasureNs)})
+		bytesPerConn.X = append(bytesPerConn.X, x)
+		bytesPerConn.Points = append(bytesPerConn.Points,
+			measure.Result{Mean: pv.res.Mean * float64(p.MeasureNs) / (8e3 * 1024 * float64(udpLadder[i]))})
+		evicts.X = append(evicts.X, x)
+		evicts.Points = append(evicts.Points,
+			measure.Result{Mean: float64(pv.agg.FlowEvicts) / 1e3})
+		sinkEvicts.X = append(sinkEvicts.X, x)
+		sinkEvicts.Points = append(sinkEvicts.Points,
+			measure.Result{Mean: float64(pv.agg.SinkEvicts) / 1e3})
+	}
+
+	tcpTitle := "Extension: TCP receive with idle connections — timer architecture (Mbit/s)"
+	for i, n := range tcpLadder {
+		tcpTitle += fmt.Sprintf(" | x=%d: %d conns", i+1, n)
+	}
+	udpTitle := "Extension: steered UDP connection scale-out (Mbit/s)"
+	for i, n := range udpLadder {
+		udpTitle += fmt.Sprintf(" | x=%d: %d conns", i+1, n)
+	}
+
+	return []measure.Table{
+		{Title: tcpTitle, XLabel: "ladder", YLabel: "Mbit/s", Series: tcpSeries},
+		{Title: udpTitle, XLabel: "ladder", YLabel: "Mbit/s",
+			Series: []measure.Series{udpTput}},
+		{Title: "Extension: scale-out accounting (bounded exact state + sketch totals)",
+			XLabel: "ladder", YLabel: "value",
+			Series: []measure.Series{kpkts, bytesPerConn, evicts, sinkEvicts}},
+	}, nil
+}
+
+// ScalePoint is one committed BENCH_scale.json measurement.
+type ScalePoint struct {
+	Conns        int     `json:"conns"`
+	Mbps         float64 `json:"mbps"`
+	KPktsPerSec  float64 `json:"kpkts_per_sec"`
+	BytesPerConn float64 `json:"bytes_per_conn"`
+	FlowEvicts   int64   `json:"flow_evicts"`
+	SinkEvicts   int64   `json:"sink_evicts"`
+	HostMs       int64   `json:"host_ms"`
+}
+
+// TCPScalePoint is one TCP idle-connection bench point: scan vs wheel.
+type TCPScalePoint struct {
+	Conns     int     `json:"conns"`
+	ScanMbps  float64 `json:"scan_mbps"`
+	WheelMbps float64 `json:"wheel_mbps"`
+	HostMs    int64   `json:"host_ms"`
+}
+
+// ScaleBench is the committed scale benchmark artifact.
+type ScaleBench struct {
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Ladder    []ScalePoint    `json:"ladder"`
+	TCP       []TCPScalePoint `json:"tcp"`
+}
+
+// RunScaleBench measures the scale ladders sequentially (each point's
+// host wall-clock is part of the artifact, so points must not share the
+// host) and returns the committed-benchmark structure.
+func RunScaleBench(p Params) (ScaleBench, error) {
+	b := ScaleBench{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, n := range scaleLadder(p) {
+		start := time.Now()
+		res, agg, err := core.Measure(scaleUDP(p, n), p.WarmupNs, p.MeasureNs, p.Runs)
+		if err != nil {
+			return b, fmt.Errorf("scale bench %d conns: %w", n, err)
+		}
+		b.Ladder = append(b.Ladder, ScalePoint{
+			Conns:        n,
+			Mbps:         res.Mean,
+			KPktsPerSec:  float64(agg.Packets) * 1e6 / float64(p.MeasureNs),
+			BytesPerConn: res.Mean * float64(p.MeasureNs) / (8e3 * float64(n)),
+			FlowEvicts:   agg.FlowEvicts,
+			SinkEvicts:   agg.SinkEvicts,
+			HostMs:       time.Since(start).Milliseconds(),
+		})
+	}
+	for _, n := range tcpScaleLadder(p) {
+		start := time.Now()
+		scan, _, err := core.Measure(scaleTCP(p, n, false, false), p.WarmupNs, p.MeasureNs, p.Runs)
+		if err != nil {
+			return b, fmt.Errorf("tcp scale bench %d conns (scan): %w", n, err)
+		}
+		wheel, _, err := core.Measure(scaleTCP(p, n, true, true), p.WarmupNs, p.MeasureNs, p.Runs)
+		if err != nil {
+			return b, fmt.Errorf("tcp scale bench %d conns (wheel): %w", n, err)
+		}
+		b.TCP = append(b.TCP, TCPScalePoint{
+			Conns:     n,
+			ScanMbps:  scan.Mean,
+			WheelMbps: wheel.Mean,
+			HostMs:    time.Since(start).Milliseconds(),
+		})
+	}
+	return b, nil
+}

@@ -27,6 +27,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/xkernel"
+	"repro/internal/xmap"
 )
 
 // Schema identifies the report format.
@@ -76,6 +79,12 @@ func MicroBenchmarks() []MicroSpec {
 		{"msg-alloc-free", benchMsgAllocFree},
 		{"msg-clone-free", benchMsgCloneFree},
 		{"msg-merge-absorb", benchMsgMergeAbsorb},
+		{"tcp-timer-tick-scan-16k", benchTCPTickScan16k},
+		{"tcp-timer-tick-wheel-16k", benchTCPTickWheel16k},
+		{"tcp-timer-tick-wheel-64k", benchTCPTickWheel64k},
+		{"tcp-fasttimo-noalloc", benchTCPFastTimoNoalloc},
+		{"tcb-pool-recycle", benchTCBPoolRecycle},
+		{"xmap-resolve-100k", benchXmapResolve100k},
 	}
 }
 
@@ -232,6 +241,139 @@ func benchMsgMergeAbsorb(b *testing.B) {
 			}
 		}
 		head.Free(th)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchTCPTick builds n idle established connections and times one slow
+// heartbeat per op under the selected timer architecture. The scan walks
+// every connection each heartbeat (ns/op grows with n); the wheel visits
+// only expiring timers, so ns/op must stay flat as the idle population
+// quadruples — the O(expiring) property the ext-scale experiment relies
+// on. Setup (binding n connection blocks) runs in a first engine pass,
+// outside the timed region.
+func benchTCPTick(b *testing.B, n int, wheel bool) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	a := msg.NewAllocator(msg.DefaultConfig(1))
+	cfg := tcp.DefaultConfig()
+	cfg.Checksum = tcp.ChecksumOff
+	cfg.TimerWheel = wheel
+	cfg.Buckets = n
+	var p *tcp.Protocol
+	e.Spawn("setup", 0, func(th *sim.Thread) {
+		p, _ = tcp.NewBench(th, cfg, a, n)
+	})
+	e.Run()
+	e.Spawn("tick", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			p.BenchSlowTick(th)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+func benchTCPTickScan16k(b *testing.B)  { benchTCPTick(b, 16384, false) }
+func benchTCPTickWheel16k(b *testing.B) { benchTCPTick(b, 16384, true) }
+func benchTCPTickWheel64k(b *testing.B) { benchTCPTick(b, 65536, true) }
+
+// benchTCPFastTimoNoalloc: the delayed-ack flush with acks actually
+// pending. The flush list is protocol-owned scratch and the pure acks
+// recycle through the message allocator, so the steady state must be
+// 0 host allocs/op (TestFastTimoZeroAlloc asserts it; the ratchet warns
+// if it regresses).
+func benchTCPFastTimoNoalloc(b *testing.B) {
+	const conns = 1024
+	const pending = 32
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	a := msg.NewAllocator(msg.DefaultConfig(1))
+	cfg := tcp.DefaultConfig()
+	cfg.Checksum = tcp.ChecksumOff
+	cfg.Buckets = conns
+	var p *tcp.Protocol
+	var tcbs []*tcp.TCB
+	e.Spawn("setup", 0, func(th *sim.Thread) {
+		p, tcbs = tcp.NewBench(th, cfg, a, conns)
+	})
+	e.Run()
+	e.Spawn("tick", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < pending; j++ {
+				tcbs[(i*pending+j)%conns].BenchMarkDelack(th)
+			}
+			p.BenchFastTick(th)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchTCBPoolRecycle: connection-block churn through the free list —
+// one allocate/release cycle per op, so after the first op every block
+// comes back recycled with its queue capacities intact. The steady
+// state is one small alloc/op: each incarnation gets a fresh state lock
+// so per-connection contention stats never leak between connections.
+func benchTCBPoolRecycle(b *testing.B) {
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	a := msg.NewAllocator(msg.DefaultConfig(1))
+	cfg := tcp.DefaultConfig()
+	cfg.Checksum = tcp.ChecksumOff
+	cfg.TimerWheel = true
+	cfg.PoolTCBs = true
+	var p *tcp.Protocol
+	e.Spawn("setup", 0, func(th *sim.Thread) {
+		p, _ = tcp.NewBench(th, cfg, a, 0)
+	})
+	e.Run()
+	part := xkernel.Part{
+		LocalIP:    xkernel.IPAddr{10, 0, 0, 1},
+		RemoteIP:   xkernel.IPAddr{10, 0, 0, 2},
+		LocalPort:  1000,
+		RemotePort: 2000,
+	}
+	e.Spawn("churn", 0, func(th *sim.Thread) {
+		for i := 0; i < b.N; i++ {
+			tcb := p.BenchNewTCB(part)
+			p.BenchRelease(th, tcb)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// benchXmapResolve100k: demux lookups against a 100k-entry map whose
+// bucket array started at the 64-bucket x-kernel default and auto-grew —
+// the host-side chain-walk cost the Buckets knob and load-factor growth
+// keep bounded.
+func benchXmapResolve100k(b *testing.B) {
+	const n = 100_000
+	e := sim.New(cost.NewModel(cost.Challenge100), 1)
+	m := xmap.New(64, sim.KindMutex, "bench-resolve")
+	e.Spawn("setup", 0, func(th *sim.Thread) {
+		for i := 0; i < n; i++ {
+			if err := m.Bind(th, xmap.Key{uint64(i), 9}, i); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	e.Run()
+	e.Spawn("lookup", 0, func(th *sim.Thread) {
+		k := uint64(0)
+		for i := 0; i < b.N; i++ {
+			if _, ok := m.Resolve(th, xmap.Key{k, 9}); !ok {
+				b.Error("key missing")
+				return
+			}
+			if k++; k == n {
+				k = 0
+			}
+		}
 	})
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -21,3 +21,22 @@ func TestMergeAbsorbZeroAllocs(t *testing.T) {
 			allocs, res.AllocedBytesPerOp())
 	}
 }
+
+// TestFastTimoZeroAllocs enforces the timer subsystem's host-cost
+// contract: a fast heartbeat that flushes pending delayed acks reuses
+// the protocol-owned scratch slice and pool-recycled ack messages, so
+// the steady state allocates nothing per heartbeat — the seed's
+// per-tick flush-list allocation must not come back.
+func TestFastTimoZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven; skipped in -short")
+	}
+	res := testing.Benchmark(benchTCPFastTimoNoalloc)
+	if res.N == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Errorf("fast-timeout flush allocates %d allocs/op (%d B/op); want 0",
+			allocs, res.AllocedBytesPerOp())
+	}
+}

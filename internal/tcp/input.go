@@ -211,6 +211,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 					needAckNow = true
 				} else {
 					tcb.delAckPnd = true
+					tcb.queueDelack(t)
 				}
 			} else {
 				// Out of order: park on the reassembly queue and ack
@@ -222,11 +223,14 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 				tcb.locks.unlockReass(t)
 				m = nil
 				needAckNow = true
-				// Drain whatever became contiguous.
+				// Drain whatever became contiguous. Drained entries are
+				// copied down, not resliced away, so the queue keeps its
+				// backing array (pooled reassembly nodes).
 				tcb.locks.lockReass(t)
-				for len(tcb.reassQ) > 0 && tcb.reassQ[0].seq == tcb.rcvNxt {
-					rs := tcb.reassQ[0]
-					tcb.reassQ = tcb.reassQ[1:]
+				drained := 0
+				for drained < len(tcb.reassQ) && tcb.reassQ[drained].seq == tcb.rcvNxt {
+					rs := tcb.reassQ[drained]
+					drained++
 					t.ChargeRand(st.TCPReassDrain)
 					tcb.rcvNxt += uint32(rs.dlen)
 					p.stats.BytesIn += int64(rs.dlen)
@@ -236,6 +240,14 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 					if rs.fin {
 						tcb.finRcvd = true
 					}
+				}
+				if drained > 0 {
+					q := tcb.reassQ
+					n := copy(q, q[drained:])
+					for i := n; i < len(q); i++ {
+						q[i] = reassSeg{}
+					}
+					tcb.reassQ = q[:n]
 				}
 				tcb.locks.unlockReass(t)
 			}
@@ -254,10 +266,10 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			tcb.state = stateCloseWait
 		case stateFinWait1:
 			tcb.state = stateTimeWait // simplification of CLOSING
-			tcb.timers[timer2MSL] = msl2Ticks
+			tcb.setTimer(t, timer2MSL, msl2Ticks)
 		case stateFinWait2:
 			tcb.state = stateTimeWait
-			tcb.timers[timer2MSL] = msl2Ticks
+			tcb.setTimer(t, timer2MSL, msl2Ticks)
 		}
 	}
 
@@ -311,6 +323,7 @@ func (tcb *TCB) ackPolicy(t *sim.Thread) (bool, uint32, uint32) {
 		return true, tcb.rcvNxt, tcb.rcvWnd
 	}
 	tcb.delAckPnd = true
+	tcb.queueDelack(t)
 	return false, 0, 0
 }
 
@@ -420,9 +433,13 @@ func (tcb *TCB) processAck(t *sim.Thread, sg seg) {
 		tcb.sndCwnd = tcb.p.cfg.Window
 	}
 	// Drop fully acknowledged segments from the retransmission queue.
+	// Acked entries are copied down rather than resliced off the front
+	// so the slice keeps its backing array — the queue's nodes stay
+	// pooled for the connection's lifetime.
 	tcb.locks.lockRexmtQ(t)
-	for len(tcb.rexmtQ) > 0 {
-		rs := &tcb.rexmtQ[0]
+	acked := 0
+	for ; acked < len(tcb.rexmtQ); acked++ {
+		rs := &tcb.rexmtQ[acked]
 		end := rs.seq + uint32(rs.dlen)
 		if rs.dlen == 0 {
 			end = rs.seq + 1 // SYN/FIN consume one sequence number
@@ -433,13 +450,20 @@ func (tcb *TCB) processAck(t *sim.Thread, sg seg) {
 		if rs.m != nil {
 			rs.m.Free(t)
 		}
-		tcb.rexmtQ = tcb.rexmtQ[1:]
+	}
+	if acked > 0 {
+		q := tcb.rexmtQ
+		n := copy(q, q[acked:])
+		for i := n; i < len(q); i++ {
+			q[i] = rexmtSeg{}
+		}
+		tcb.rexmtQ = q[:n]
 	}
 	tcb.locks.unlockRexmtQ(t)
 	if tcb.sndUna == tcb.sndMax {
-		tcb.timers[timerRexmt] = 0
+		tcb.clearTimer(timerRexmt)
 	} else {
-		tcb.timers[timerRexmt] = tcb.rexmtTicks()
+		tcb.setTimer(t, timerRexmt, tcb.rexmtTicks())
 	}
 	// Our FIN acknowledged?
 	switch tcb.state {

@@ -116,8 +116,8 @@ func (tcb *TCB) sendSegment(t *sim.Thread, m *msg.Message, flags uint8) error {
 	})
 	tcb.locks.unlockRexmtQ(t)
 
-	if tcb.timers[timerRexmt] == 0 {
-		tcb.timers[timerRexmt] = tcb.rexmtTicks()
+	if !tcb.timerArmed(timerRexmt) {
+		tcb.setTimer(t, timerRexmt, tcb.rexmtTicks())
 	}
 	if tcb.rttTime == 0 {
 		tcb.rttTime = t.Now()
@@ -214,7 +214,7 @@ func (tcb *TCB) retransmit(t *sim.Thread, fast bool) error {
 			return tcb.dropWithReset(t, "rexmt limit")
 		}
 	}
-	tcb.timers[timerRexmt] = tcb.rexmtTicks()
+	tcb.setTimer(t, timerRexmt, tcb.rexmtTicks())
 	tcb.locks.unlockState(t)
 
 	if fast {

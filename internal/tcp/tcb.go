@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"repro/internal/chksum"
+	"repro/internal/event"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/xkernel"
@@ -223,13 +224,22 @@ type TCB struct {
 	unacked   int
 	delAckPnd bool
 
-	// Timers (BSD slow-tick counters) and RTT estimation.
-	timers   [nTimers]int
-	rxtShift int
-	srtt     int64 // ns
-	rttvar   int64 // ns
-	rttTime  int64 // ns when the timed segment was sent; 0 = no timing
-	rttSeq   uint32
+	// Timers (BSD slow-tick counters) and RTT estimation. Scan mode
+	// uses the tick counters; wheel mode keeps the authoritative expiry
+	// in timerDeadline (absolute slow tick, 0 = disarmed) with one
+	// embedded wheel node per timer. A node may lag behind a pushed-out
+	// deadline (re-arms that only extend are free); the expiry handler
+	// re-arms it lazily.
+	timers        [nTimers]int
+	timerDeadline [nTimers]int64
+	timerNode     [nTimers]event.TimerNode
+	onDelackQ     bool
+	released      bool
+	rxtShift      int
+	srtt          int64 // ns
+	rttvar        int64 // ns
+	rttTime       int64 // ns when the timed segment was sent; 0 = no timing
+	rttSeq        uint32
 
 	mss int
 
@@ -244,13 +254,28 @@ type TCB struct {
 }
 
 func newTCB(p *Protocol, part xkernel.Part, lower IPSession, up xkernel.Receiver) *TCB {
-	tcb := &TCB{
-		p:     p,
-		part:  part,
-		lower: lower,
-		up:    up,
-		locks: newLockSet(p.cfg.Layout, p.cfg.Kind),
-		state: stateClosed,
+	var tcb *TCB
+	if n := len(p.tcbFree); n > 0 {
+		// Recycle a reaped block: everything resets except the queue
+		// slices, whose capacity the last incarnation grew.
+		tcb = p.tcbFree[n-1]
+		p.tcbFree[n-1] = nil
+		p.tcbFree = p.tcbFree[:n-1]
+		rexQ, reaQ := tcb.rexmtQ[:0], tcb.reassQ[:0]
+		*tcb = TCB{rexmtQ: rexQ, reassQ: reaQ}
+	} else {
+		tcb = &TCB{}
+	}
+	tcb.p = p
+	tcb.part = part
+	tcb.lower = lower
+	tcb.up = up
+	tcb.locks = newLockSet(p.cfg.Layout, p.cfg.Kind)
+	tcb.state = stateClosed
+	if p.cfg.TimerWheel {
+		for i := range tcb.timerNode {
+			tcb.timerNode[i] = event.TimerNode{Arg: tcb, Which: i}
+		}
 	}
 	tcb.ref.Init(p.cfg.RefMode, 1)
 	tcb.mss = lower.MSS() - HdrLen
@@ -348,10 +373,22 @@ func (tcb *TCB) Abort(t *sim.Thread) {
 	tcb.unlockAll(t)
 }
 
-// drop tears the connection down and removes its demux binding.
+// drop tears the connection down and removes its demux binding. In
+// wheel mode every armed timer node is cancelled here, so a timer on a
+// closed connection can never fire (and a recycled block never inherits
+// its predecessor's timers).
 func (tcb *TCB) drop(t *sim.Thread, cause string) error {
 	tcb.closeCause = cause
 	tcb.state = stateClosed
+	if tcb.p.cfg.TimerWheel {
+		tcb.delAckPnd = false
+		for i := 0; i < nTimers; i++ {
+			tcb.timerDeadline[i] = 0
+			if tcb.timerNode[i].Armed() {
+				tcb.p.tw.Cancel(t, &tcb.timerNode[i])
+			}
+		}
+	}
 	tcb.freeQueues(t)
 	return tcb.p.tcbs.Unbind(t, tcbKey(tcb.part))
 }
@@ -366,16 +403,18 @@ func (tcb *TCB) freeQueues(t *sim.Thread) {
 		if tcb.rexmtQ[i].m != nil {
 			tcb.rexmtQ[i].m.Free(t)
 		}
+		tcb.rexmtQ[i] = rexmtSeg{}
 	}
-	tcb.rexmtQ = nil
+	tcb.rexmtQ = tcb.rexmtQ[:0]
 	tcb.locks.unlockRexmtQ(t)
 	tcb.locks.lockReass(t)
 	for i := range tcb.reassQ {
 		if tcb.reassQ[i].m != nil {
 			tcb.reassQ[i].m.Free(t)
 		}
+		tcb.reassQ[i] = reassSeg{}
 	}
-	tcb.reassQ = nil
+	tcb.reassQ = tcb.reassQ[:0]
 	tcb.locks.unlockReass(t)
 }
 

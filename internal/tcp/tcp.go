@@ -104,6 +104,17 @@ type Config struct {
 	// AckEvery-th data segment (default 2, mimicking Net/2 talking to
 	// itself, per Section 2.3).
 	AckEvery int
+	// TimerWheel drives the per-connection timers from a hierarchical
+	// tick wheel instead of the BSD full-map scans: each fast/slow
+	// heartbeat costs O(expiring timers), not O(connections).
+	TimerWheel bool
+	// Buckets sizes the demux hash table (0: 64, the x-kernel default).
+	// Size it near the expected connection count; lookups charge the
+	// same virtual cost either way, but host-time chain walks do not.
+	Buckets int
+	// PoolTCBs free-lists connection blocks recycled by the 2MSL
+	// reaper so connection churn stops allocating. Host-side only.
+	PoolTCBs bool
 }
 
 // DefaultConfig is the paper's baseline: TCP-1, raw mutex state lock,
@@ -165,6 +176,29 @@ type Protocol struct {
 	stats    Stats
 
 	stopTimers sim.Flag
+
+	// Scan-mode timer scratch (event-thread only, reused every tick).
+	flushScratch []pendingAck
+	firedScratch []expiry
+
+	// Wheel-mode timer state (cfg.TimerWheel): the hierarchical tick
+	// wheel holding armed slow timers, the pending delayed-ack list the
+	// fast heartbeat drains, and the slow-tick counter both modes keep
+	// (wheel deadlines are absolute slow-tick indices).
+	tw            *event.TickWheel
+	delackLock    sim.Locker
+	delackQ       []*TCB
+	delackScratch []*TCB
+	dueScratch    []*event.TimerNode
+	slowTicks     int64
+
+	// timerLog, when set (tests), observes every slow-timer expiry as
+	// (tcb, which, slow tick index) in both timer modes.
+	timerLog func(tcb *TCB, which int, tick int64)
+
+	// TCB free list (cfg.PoolTCBs).
+	tcbFree  []*TCB
+	recycled int64
 }
 
 // New creates a TCP instance. wheel drives the BSD fast (200 ms) and
@@ -176,17 +210,25 @@ func New(cfg Config, lower IPOpener, alloc *msg.Allocator, wheel *event.Wheel) *
 	if cfg.AckEvery <= 0 {
 		cfg.AckEvery = 2
 	}
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = 64
+	}
 	p := &Protocol{
 		cfg:   cfg,
 		lower: lower,
 		alloc: alloc,
 		wheel: wheel,
-		tcbs:  xmap.New(64, sim.KindMutex, "tcp-demux"),
+		tcbs:  xmap.New(buckets, sim.KindMutex, "tcp-demux"),
 	}
 	p.tcbs.Locking = cfg.MapLocking
 	p.tcbs.NoCache = cfg.MapNoCache
 	p.sessLock.Name = "tcp-sess"
 	p.ref.Init(cfg.RefMode, 1)
+	if cfg.TimerWheel {
+		p.tw = event.NewTickWheel(sim.KindMutex, "tcp-tickwheel")
+		p.delackLock = sim.NewLock(sim.KindMutex, "tcp-delackq")
+	}
 	return p
 }
 
@@ -324,7 +366,11 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	// Session refcount discipline on the fast path (Section 5.2).
 	tcb.ref.Incr(t)
 	err = tcb.input(t, sg, m)
-	tcb.ref.Decr(t)
+	if tcb.ref.Decr(t) {
+		// The base reference was released by the 2MSL reaper while we
+		// were inside input processing; ours was the last.
+		p.recycleTCB(tcb)
+	}
 	return err
 }
 

@@ -9,7 +9,22 @@ import (
 // a 200 ms fast timeout that flushes pending delayed acks and a 500 ms
 // slow timeout that decrements the per-connection timer counters. Both
 // iterate over every connection with mapForEach, exercising the map
-// manager's counting locks exactly as the x-kernel does.
+// manager's counting locks exactly as the x-kernel does — an O(n) sweep
+// per tick that Config.TimerWheel replaces with the hierarchical tick
+// wheel in timerwheel.go.
+
+// pendingAck is one delayed ack the fast timeout decided to flush.
+type pendingAck struct {
+	tcb *TCB
+	ack uint32
+	win uint32
+}
+
+// expiry is one slow timer that reached zero this tick.
+type expiry struct {
+	tcb   *TCB
+	which int
+}
 
 // StartTimers registers the recurring fast and slow timeouts on the
 // protocol's event wheel. Call once after construction.
@@ -22,7 +37,11 @@ func (p *Protocol) StartTimers(t *sim.Thread) {
 		if p.stopTimers.Get() {
 			return
 		}
-		p.fastTimo(et)
+		if p.cfg.TimerWheel {
+			p.wheelFastTimo(et)
+		} else {
+			p.fastTimo(et)
+		}
 		p.wheel.Schedule(et, fast, nil, fastTick)
 	}
 	var slow func(*sim.Thread, any)
@@ -30,7 +49,12 @@ func (p *Protocol) StartTimers(t *sim.Thread) {
 		if p.stopTimers.Get() {
 			return
 		}
-		p.slowTimo(et)
+		p.slowTicks++
+		if p.cfg.TimerWheel {
+			p.wheelSlowTimo(et)
+		} else {
+			p.slowTimo(et)
+		}
 		p.wheel.Schedule(et, slow, nil, slowTick)
 	}
 	p.wheel.Schedule(t, fast, nil, fastTick)
@@ -40,14 +64,11 @@ func (p *Protocol) StartTimers(t *sim.Thread) {
 // StopTimers makes the recurring timeouts cease rescheduling.
 func (p *Protocol) StopTimers() { p.stopTimers.Set() }
 
-// fastTimo flushes delayed acks (tcp_fasttimo).
+// fastTimo flushes delayed acks (tcp_fasttimo). The flush list is a
+// protocol-owned scratch slice — the timeout runs on the single event
+// thread, so reuse is safe and the steady state allocates nothing.
 func (p *Protocol) fastTimo(t *sim.Thread) {
-	type pending struct {
-		tcb *TCB
-		ack uint32
-		win uint32
-	}
-	var flush []pending
+	flush := p.flushScratch[:0]
 	p.tcbs.ForEach(t, func(_ xmap.Key, v any) bool {
 		tcb := v.(*TCB)
 		if tcb.delAckPnd {
@@ -56,7 +77,7 @@ func (p *Protocol) fastTimo(t *sim.Thread) {
 				tcb.delAckPnd = false
 				tcb.unacked = 0
 				tcb.lastAckSent = tcb.rcvNxt
-				flush = append(flush, pending{tcb, tcb.rcvNxt, tcb.rcvWnd})
+				flush = append(flush, pendingAck{tcb, tcb.rcvNxt, tcb.rcvWnd})
 			}
 			tcb.locks.unlockState(t)
 		}
@@ -67,16 +88,16 @@ func (p *Protocol) fastTimo(t *sim.Thread) {
 	for _, f := range flush {
 		f.tcb.sendAckNow(t, f.ack, f.win)
 	}
+	for i := range flush {
+		flush[i] = pendingAck{}
+	}
+	p.flushScratch = flush[:0]
 }
 
 // slowTimo decrements every connection's timer counters and collects the
 // expiries (tcp_slowtimo).
 func (p *Protocol) slowTimo(t *sim.Thread) {
-	type expiry struct {
-		tcb   *TCB
-		which int
-	}
-	var fired []expiry
+	fired := p.firedScratch[:0]
 	p.tcbs.ForEach(t, func(_ xmap.Key, v any) bool {
 		tcb := v.(*TCB)
 		tcb.locks.lockState(t)
@@ -92,8 +113,15 @@ func (p *Protocol) slowTimo(t *sim.Thread) {
 		return true
 	})
 	for _, f := range fired {
+		if p.timerLog != nil {
+			p.timerLog(f.tcb, f.which, p.slowTicks)
+		}
 		f.tcb.timeout(t, f.which)
 	}
+	for i := range fired {
+		fired[i] = expiry{}
+	}
+	p.firedScratch = fired[:0]
 }
 
 // timeout handles one expired timer. Called without locks held.
@@ -108,7 +136,7 @@ func (tcb *TCB) timeout(t *sim.Thread, which int) {
 		probe := tcb.state == stateEstablished && tcb.sndWnd == 0
 		ack, win := tcb.rcvNxt, tcb.rcvWnd
 		if probe {
-			tcb.timers[timerPersist] = minRexmt
+			tcb.setTimer(t, timerPersist, minRexmt)
 		}
 		tcb.locks.unlockState(t)
 		if probe {
@@ -116,10 +144,17 @@ func (tcb *TCB) timeout(t *sim.Thread, which int) {
 		}
 	case timer2MSL:
 		tcb.locks.lockState(t)
+		dropped := false
 		if tcb.state == stateTimeWait {
 			tcb.drop(t, "2MSL expired")
+			dropped = true
 		}
 		tcb.locks.unlockState(t)
+		if dropped {
+			// The connection is unbound and idle: hand the block to the
+			// free list once in-flight references drain.
+			tcb.p.releaseTCB(t, tcb)
+		}
 	case timerKeep:
 		// Keepalive is a no-op on the error-free in-memory wire.
 	}

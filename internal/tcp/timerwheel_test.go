@@ -1,0 +1,245 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/event"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/xkernel"
+)
+
+// Timer-architecture equivalence: with the same workload shape, the
+// wheel-driven timers must fire the same (side, which) expiries at the
+// same slow-tick indices as the scan-driven seed timers. The scenarios
+// cover retransmit (single loss and persistent loss with backoff), the
+// 2MSL reaper behind an orderly close, and directly armed
+// persist/keepalive timers including both re-arm directions (the
+// deadline-shortening re-arm touches the wheel eagerly, the lengthening
+// one relies on the parked node lazily re-arming itself).
+
+// timerEvent is one observed slow-timer expiry.
+type timerEvent struct {
+	side  string
+	which int
+	tick  int64
+}
+
+// runTimerScenario runs one scripted shape with the given timer
+// architecture and returns the expiry log and delivered-message count.
+func runTimerScenario(t *testing.T, seed uint64, wheelMode bool, w *wire,
+	script func(t *testing.T, th *sim.Thread, h *harness)) (events []timerEvent, delivered int) {
+	t.Helper()
+	e := sim.New(cost.NewModel(cost.Challenge100), seed)
+	e.Spawn("test", 0, func(th *sim.Thread) {
+		ew := event.New(event.DefaultConfig())
+		ew.Start(th.Engine(), 0)
+		cfg := DefaultConfig()
+		cfg.TimerWheel = wheelMode
+		h := build(t, th, cfg, w, ew)
+		log := func(side string) func(tcb *TCB, which int, tick int64) {
+			return func(_ *TCB, which int, tick int64) {
+				events = append(events, timerEvent{side, which, tick})
+			}
+		}
+		h.pa.timerLog = log("A")
+		h.pb.timerLog = log("B")
+		script(t, th, h)
+		delivered = len(h.sink.payloads)
+		h.pa.StopTimers()
+		h.pb.StopTimers()
+		ew.Stop()
+	})
+	e.Run()
+	return events, delivered
+}
+
+func timerScenarios() []struct {
+	name   string
+	wire   func() *wire
+	script func(t *testing.T, th *sim.Thread, h *harness)
+} {
+	return []struct {
+		name   string
+		wire   func() *wire
+		script func(t *testing.T, th *sim.Thread, h *harness)
+	}{
+		{
+			name: "rexmt-single-loss",
+			wire: func() *wire { return &wire{dropDataSeg: 1} },
+			script: func(t *testing.T, th *sim.Thread, h *harness) {
+				h.send(t, th, pattern(1024, 3))
+				th.Sleep(10 * slowTick)
+			},
+		},
+		{
+			name: "rexmt-backoff",
+			wire: func() *wire { return &wire{dropAllData: true} },
+			script: func(t *testing.T, th *sim.Thread, h *harness) {
+				h.send(t, th, pattern(512, 5))
+				th.Sleep(80 * slowTick)
+			},
+		},
+		{
+			name: "close-2msl",
+			wire: func() *wire { return &wire{} },
+			script: func(t *testing.T, th *sim.Thread, h *harness) {
+				h.send(t, th, pattern(1024, 7))
+				if err := h.tcbA.Close(th); err != nil {
+					t.Fatal(err)
+				}
+				if err := h.tcbB.Close(th); err != nil {
+					t.Fatal(err)
+				}
+				th.Sleep((msl2Ticks + 10) * slowTick)
+			},
+		},
+		{
+			name: "direct-arm-and-rearm",
+			wire: func() *wire { return &wire{} },
+			script: func(t *testing.T, th *sim.Thread, h *harness) {
+				// Persist fires once (window open, so it does not re-arm);
+				// keepalive expiry is a no-op, so it is safe to script.
+				h.tcbA.BenchArmTimer(th, timerPersist, 3)
+				h.tcbB.BenchArmTimer(th, timerKeep, 5)
+				// Lengthen: parked wheel node must lazily re-arm.
+				h.tcbA.BenchArmTimer(th, timerKeep, 4)
+				h.tcbA.BenchArmTimer(th, timerKeep, 20)
+				// Shorten: wheel node must move eagerly.
+				h.tcbB.BenchArmTimer(th, timerPersist, 30)
+				h.tcbB.BenchArmTimer(th, timerPersist, 2)
+				th.Sleep(40 * slowTick)
+			},
+		},
+	}
+}
+
+func TestTimerEquivalenceScanVsWheel(t *testing.T) {
+	for _, sc := range timerScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			scanEv, scanN := runTimerScenario(t, 11, false, sc.wire(), sc.script)
+			wheelEv, wheelN := runTimerScenario(t, 11, true, sc.wire(), sc.script)
+			if scanN != wheelN {
+				t.Errorf("delivered %d messages under scan, %d under wheel", scanN, wheelN)
+			}
+			if len(scanEv) == 0 {
+				t.Fatalf("scenario fired no timers under scan mode; not a timer test")
+			}
+			if fmt.Sprint(scanEv) != fmt.Sprint(wheelEv) {
+				t.Errorf("expiry logs differ:\n scan:  %v\n wheel: %v", scanEv, wheelEv)
+			}
+		})
+	}
+}
+
+// TestWheelChurnCancelledTimersNeverFire churns connections through
+// open / transfer / close on one protocol pair with pooling enabled: a
+// stale wheel node surviving a drop would fire on a closed (possibly
+// recycled) connection block. The log hook fails the test if any slow
+// timer expires on a closed connection, and the wheels must be empty
+// when the churn ends.
+func TestWheelChurnCancelledTimersNeverFire(t *testing.T) {
+	run1(t, 13, func(th *sim.Thread) {
+		ew := event.New(event.DefaultConfig())
+		ew.Start(th.Engine(), 0)
+		cfg := DefaultConfig()
+		cfg.TimerWheel = true
+		cfg.PoolTCBs = true
+		w := &wire{}
+		alloc := msg.NewAllocator(msg.DefaultConfig(8))
+		oa := &wireOpener{w: w, src: hostA, dst: hostB}
+		ob := &wireOpener{w: w, src: hostB, dst: hostA}
+		pa := New(cfg, oa, alloc, ew)
+		pb := New(cfg, ob, alloc, ew)
+		w.a2b, w.b2a = pb, pa
+		oa.peer, ob.peer = &w.a2b, &w.b2a
+		pa.StartTimers(th)
+		pb.StartTimers(th)
+		stale := func(side string) func(tcb *TCB, which int, tick int64) {
+			return func(tcb *TCB, which int, tick int64) {
+				if tcb.state == stateClosed {
+					t.Errorf("%s: timer %d fired on a closed connection at tick %d", side, which, tick)
+				}
+			}
+		}
+		pa.timerLog = stale("A")
+		pb.timerLog = stale("B")
+
+		for i := 0; i < 12; i++ {
+			part := xkernel.Part{
+				LocalIP: hostA, RemoteIP: hostB,
+				LocalPort: uint16(1000 + i), RemotePort: uint16(2000 + i),
+			}
+			tcbB, err := pb.OpenEnable(th, part.Swap(), &recvSink{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcbA, err := pa.Open(th, part, &recvSink{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := alloc.New(th, 1024, msg.Headroom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tcbA.Push(th, m); err != nil {
+				t.Fatal(err)
+			}
+			// A far-out keepalive the close path must cancel.
+			tcbA.BenchArmTimer(th, timerKeep, 10_000)
+			if err := tcbA.Close(th); err != nil {
+				t.Fatal(err)
+			}
+			if err := tcbB.Close(th); err != nil {
+				t.Fatal(err)
+			}
+			// The active closer sits in TIME_WAIT for 2MSL; ride past it
+			// so the reaper recycles the block before the next round.
+			th.Sleep((msl2Ticks + 5) * slowTick)
+		}
+
+		if pa.Recycled() == 0 {
+			t.Error("pooling on, 12 TIME_WAIT reaps, yet no connection block was recycled")
+		}
+		if n := pa.TickWheel().Pending(); n != 0 {
+			t.Errorf("client wheel still holds %d armed nodes after churn", n)
+		}
+		if n := pb.TickWheel().Pending(); n != 0 {
+			t.Errorf("server wheel still holds %d armed nodes after churn", n)
+		}
+		pa.StopTimers()
+		pb.StopTimers()
+		ew.Stop()
+	})
+}
+
+// TestScanModeUnchangedByBenchHelpers pins the scan-mode semantics the
+// equivalence test relies on: BenchArmTimer writes the counters the
+// slow scan decrements, and clearTimer disarms in both modes.
+func TestTimerArmedAccessors(t *testing.T) {
+	run1(t, 17, func(th *sim.Thread) {
+		for _, wheel := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.TimerWheel = wheel
+			p, tcbs := NewBench(th, cfg, msg.NewAllocator(msg.DefaultConfig(1)), 1)
+			tcb := tcbs[0]
+			if tcb.timerArmed(timerRexmt) {
+				t.Errorf("wheel=%v: timer armed at birth", wheel)
+			}
+			tcb.BenchArmTimer(th, timerRexmt, 4)
+			if !tcb.timerArmed(timerRexmt) {
+				t.Errorf("wheel=%v: armed timer reads idle", wheel)
+			}
+			tcb.locks.lockState(th)
+			tcb.clearTimer(timerRexmt)
+			tcb.locks.unlockState(th)
+			if tcb.timerArmed(timerRexmt) {
+				t.Errorf("wheel=%v: cleared timer reads armed", wheel)
+			}
+			_ = p
+		}
+	})
+}

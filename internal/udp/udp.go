@@ -60,6 +60,10 @@ type Config struct {
 	MapLocking bool
 	// MapNoCache disables the demux map's 1-behind cache (ablation).
 	MapNoCache bool
+	// Buckets sizes the demux hash table (0: 64, the x-kernel default).
+	// Host-time only: lookups charge the same flat virtual cost at any
+	// size, and the map grows itself if the count outruns the guess.
+	Buckets int
 }
 
 // Protocol is the UDP protocol object.
@@ -83,10 +87,14 @@ type Stats struct {
 
 // New creates the UDP layer above lower.
 func New(cfg Config, lower IPOpener) *Protocol {
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = 64
+	}
 	p := &Protocol{
 		cfg:      cfg,
 		lower:    lower,
-		sessions: xmap.New(64, sim.KindMutex, "udp-demux"),
+		sessions: xmap.New(buckets, sim.KindMutex, "udp-demux"),
 	}
 	p.sessions.Locking = cfg.MapLocking
 	p.sessions.NoCache = cfg.MapNoCache

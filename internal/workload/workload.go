@@ -45,6 +45,16 @@ type Config struct {
 	// Seed drives the generator and the sink's app-migration draws
 	// (0: derived from the stack seed).
 	Seed uint64
+	// CompactSlots bounds the sink's exact per-connection state to a
+	// direct-mapped table of this many slots (conn mod slots; a
+	// collision evicts the previous occupant and resets its ordering
+	// watermark). 0, the default, keeps one exact entry per connection.
+	// With slots set, per-flow accounting is O(slots) memory at any
+	// connection count — exact totals still come from the sketch-backed
+	// telemetry; only misorder detection becomes approximate across
+	// evictions (an evicted flow's watermark restarts, so reordering
+	// that spans an eviction goes uncounted).
+	CompactSlots int
 }
 
 // WithDefaults fills unset fields.
@@ -179,9 +189,11 @@ func (g *Generator) Next() Arrival {
 	return a
 }
 
-// connState is one connection's delivery-side state.
+// connState is one connection's delivery-side state. In compact mode
+// conn records which connection currently owns the slot.
 type connState struct {
 	maxSeq  int64
+	conn    int32
 	appProc int32
 	since   int32 // deliveries since the last app migration
 }
@@ -193,15 +205,18 @@ type connState struct {
 type Sink struct {
 	procs     int
 	moveEvery int
+	nconns    int // total connections (bounds-checks stamps)
+	slots     int // 0: exact per-conn table; >0: direct-mapped compact table
 	lock      sim.Mutex
 	rng       sim.Rand
 
-	conns   []connState
-	perProc []int64
-	pkts    int64
-	ooo     int64
-	bytes   int64
-	short   int64
+	conns     []connState
+	perProc   []int64
+	pkts      int64
+	ooo       int64
+	bytes     int64
+	short     int64
+	evictions int64
 
 	// Pin, when set, is called after each delivery with the flow's
 	// identity and the connection's (possibly just-migrated) consuming
@@ -215,21 +230,48 @@ type Sink struct {
 }
 
 // NewSink builds the sink for conns connections on procs processors.
-// Each connection's application thread starts on conn mod procs.
+// Each connection's application thread starts on conn mod procs. With
+// cfg.CompactSlots set below conns, the per-connection table is
+// direct-mapped at that size instead of exact (slot s starts owned by
+// connection s, the lowest index mapping there).
 func NewSink(cfg Config, conns, procs int) *Sink {
 	cfg = cfg.WithDefaults()
+	size := conns
+	slots := 0
+	if cfg.CompactSlots > 0 && cfg.CompactSlots < conns {
+		size, slots = cfg.CompactSlots, cfg.CompactSlots
+	}
 	k := &Sink{
 		procs:     procs,
 		moveEvery: cfg.AppMoveEvery,
+		nconns:    conns,
+		slots:     slots,
 		rng:       sim.NewRand(cfg.Seed ^ 0x9E37_79B9_7F4A_7C15),
-		conns:     make([]connState, conns),
+		conns:     make([]connState, size),
 		perProc:   make([]int64, procs+2),
 	}
 	k.lock.Name = "steer-sink"
 	for i := range k.conns {
+		k.conns[i].conn = int32(i)
 		k.conns[i].appProc = int32(i % procs)
 	}
 	return k
+}
+
+// state returns connection conn's accounting entry. In compact mode a
+// slot collision evicts the previous occupant: the newcomer takes the
+// slot with a fresh watermark and its home processor as app affinity —
+// deterministic, O(1), bounded.
+func (k *Sink) state(conn int) *connState {
+	if k.slots == 0 {
+		return &k.conns[conn]
+	}
+	cs := &k.conns[conn%k.slots]
+	if int(cs.conn) != conn {
+		k.evictions++
+		*cs = connState{conn: int32(conn), appProc: int32(conn % k.procs)}
+	}
+	return cs
 }
 
 // Receive consumes one delivered datagram — or, on batching runs, one
@@ -254,7 +296,7 @@ func (k *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 		return nil
 	}
 	conn, _, gen := DecodeStamp(b)
-	if conn < 0 || conn >= len(k.conns) {
+	if conn < 0 || conn >= k.nconns {
 		k.short++
 		m.Free(t)
 		return nil
@@ -264,7 +306,7 @@ func (k *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 	for i := 1; i < segs; i++ {
 		t.ChargeRand(st.AppRecv)
 	}
-	cs := &k.conns[conn]
+	cs := k.state(conn)
 	if int(cs.appProc) != t.Proc {
 		// The consuming application's connection state lives in the
 		// app processor's cache: a delivery elsewhere pays the remote-
@@ -306,6 +348,10 @@ func (k *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 
 // Bytes returns payload bytes delivered so far.
 func (k *Sink) Bytes() int64 { return k.bytes }
+
+// Evictions returns how many compact-table slot collisions evicted a
+// previous occupant (always 0 in exact mode).
+func (k *Sink) Evictions() int64 { return k.evictions }
 
 // Order returns (delivered packets, out-of-order packets).
 func (k *Sink) Order() (int64, int64) { return k.pkts, k.ooo }

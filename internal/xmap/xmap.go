@@ -49,10 +49,22 @@ type Map struct {
 	// NoCache disables the 1-behind cache (ablation).
 	NoCache bool
 
+	// MaxLoad is the average chain length beyond which Bind doubles the
+	// bucket array (0 disables growth). Rehashing is host-side work
+	// only: the model charges the same flat hash cost either way (the
+	// x-kernel's map paper assumes short chains), so growth keeps the
+	// host-time chain walks O(1) at 100k+ bindings without perturbing
+	// virtual time. Growth does reorder ForEach iteration, so maps that
+	// are scanned (the TCP demux map under scan-mode timers) should be
+	// pre-sized instead when byte-compatibility with a fixed-size run
+	// matters.
+	MaxLoad int
+
 	lock    *sim.CountingLock
 	buckets []*entry
 	mask    uint64
 	n       int
+	grows   int
 
 	// 1-behind cache: the most recently resolved binding.
 	cacheKey   Key
@@ -71,6 +83,7 @@ func New(buckets int, kind sim.LockKind, name string) *Map {
 	}
 	return &Map{
 		Locking: true,
+		MaxLoad: 8,
 		lock:    sim.NewCountingLock(kind, "map:"+name),
 		buckets: make([]*entry, sz),
 		mask:    uint64(sz - 1),
@@ -111,8 +124,40 @@ func (m *Map) Bind(t *sim.Thread, k Key, v any) error {
 	m.buckets[b] = &entry{key: k, val: v, next: m.buckets[b]}
 	m.n++
 	m.stats.Binds++
+	if m.MaxLoad > 0 && m.n > m.MaxLoad*len(m.buckets) {
+		m.grow()
+	}
 	return nil
 }
+
+// grow doubles the bucket array until the average chain length is back
+// under MaxLoad, rehashing every entry. Called with the map lock held;
+// purely host-side (no virtual charge).
+func (m *Map) grow() {
+	sz := len(m.buckets)
+	for m.n > m.MaxLoad*sz {
+		sz <<= 1
+	}
+	old := m.buckets
+	m.buckets = make([]*entry, sz)
+	m.mask = uint64(sz - 1)
+	m.grows++
+	for _, e := range old {
+		for e != nil {
+			next := e.next
+			b := m.hash(e.key)
+			e.next = m.buckets[b]
+			m.buckets[b] = e
+			e = next
+		}
+	}
+}
+
+// Buckets returns the current bucket-array size (tests, reports).
+func (m *Map) Buckets() int { return len(m.buckets) }
+
+// Grows returns how many times the bucket array has grown.
+func (m *Map) Grows() int { return m.grows }
 
 // Resolve looks up a binding, consulting the 1-behind cache first.
 func (m *Map) Resolve(t *sim.Thread, k Key) (any, bool) {

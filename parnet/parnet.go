@@ -192,6 +192,12 @@ type WorkloadConfig struct {
 	AppMoveEvery int
 	// Seed drives the generator (0: derived from the run seed).
 	Seed uint64
+	// CompactSlots bounds the sink's exact per-connection accounting to
+	// a direct-mapped table of this many slots (collisions evict); 0
+	// keeps one exact entry per connection. With it set, per-flow state
+	// is O(slots) at any connection count and misorder detection becomes
+	// approximate across evictions.
+	CompactSlots int
 }
 
 // BatchConfig enables and parameterizes receive-side GRO-style segment
@@ -273,6 +279,21 @@ type Config struct {
 	MapLocking     bool // lock the demux maps (Section 3.1 experiment)
 	WiredThreads   bool // wire one thread per processor
 
+	// TimerWheel replaces TCP's scan-based timers with the hierarchical
+	// timing wheel: per-connection scheduled events, O(expiring) per
+	// tick instead of O(connections). Off by default (the scan is the
+	// paper's baseline and stays byte-identical to it).
+	TimerWheel bool
+	// PoolConnState recycles time-wait-reaped TCP connection state
+	// through a free list (TimerWheel mode only).
+	PoolConnState bool
+	// DemuxBuckets overrides the transport demux hash size (0: sized
+	// from the connection count).
+	DemuxBuckets int
+	// ActiveConnections caps how many connections the pumps drive; the
+	// rest stay established but idle (the timer-scale ladder). 0: all.
+	ActiveConnections int
+
 	// Measurement methodology (virtual time; the paper used 30 s
 	// warm-up, 30 s measurement, 10 runs).
 	WarmupMs  int64
@@ -352,6 +373,10 @@ type Result struct {
 	// SteerDrops counts arrivals dropped on full dispatch rings during
 	// the measurement interval (steered runs).
 	SteerDrops int64
+	// SinkEvicts counts compact accounting-table evictions at the
+	// workload sink during the measurement interval (steered runs with
+	// Workload.CompactSlots set).
+	SinkEvicts int64
 	// BatchFrames and BatchSegs count the merged frames injected during
 	// the measurement interval and the wire segments they carried
 	// (batching runs); BatchSegsPerFrame is their ratio — the achieved
@@ -369,6 +394,7 @@ func steerResult(r *Result, agg core.RunResult) {
 	r.SteerMigrates = agg.SteerMigrates
 	r.FlowEvicts = agg.FlowEvicts
 	r.SteerDrops = agg.SteerDrops
+	r.SinkEvicts = agg.SinkEvicts
 	r.BatchFrames = agg.BatchFrames
 	r.BatchSegs = agg.BatchSegs
 	r.BatchSegsPerFrame = agg.BatchSegsPerFrame
@@ -432,6 +458,10 @@ func (c Config) toCore() (core.Config, error) {
 	}
 	cfg.MapLocking = c.MapLocking
 	cfg.Wired = c.WiredThreads
+	cfg.TimerWheel = c.TimerWheel
+	cfg.PoolTCBs = c.PoolConnState
+	cfg.DemuxBuckets = c.DemuxBuckets
+	cfg.ActiveConns = c.ActiveConnections
 	cfg.Seed = c.Seed
 	cfg.EnforceChecksum = c.EnforceChecksum
 	cfg.Faults = driver.FaultConfig{
@@ -470,6 +500,7 @@ func (c Config) toCore() (core.Config, error) {
 			MeanFlowPkts: c.Workload.MeanFlowPkts,
 			AppMoveEvery: c.Workload.AppMoveEvery,
 			Seed:         c.Workload.Seed,
+			CompactSlots: c.Workload.CompactSlots,
 		}
 	}
 	if c.Batch.Enabled {
