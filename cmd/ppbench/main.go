@@ -43,6 +43,7 @@ func main() {
 		plot        = flag.Bool("plot", false, "also draw each figure as an ASCII chart")
 		quick       = flag.Bool("quick", false, "fast smoke parameters (overrides the above)")
 		procs       = flag.Int("procs", 0, "host worker threads to fan simulation points across (0 = GOMAXPROCS); output is identical for every value")
+		backend     = flag.String("backend", "", "execution substrate for experiments that honor it (ext-host): sim runs the simulated half only, host (or empty) runs both and reports shape agreement")
 		loss        = flag.String("loss", "", "ext-loss: comma-separated loss rates, e.g. 0,0.001,0.01,0.05")
 		batch       = flag.String("batch", "", "ext-batch: comma-separated batch sizes (MaxSegs), e.g. 1,4,8,16; 1 means batching off")
 		conns       = flag.String("conns", "", "ext-scale: comma-separated connection ladder, e.g. 1000,10000,100000")
@@ -77,6 +78,13 @@ func main() {
 		p = experiments.QuickParams()
 	}
 	p.Workers = *procs
+	switch *backend {
+	case "", "sim", "host":
+		p.Backend = *backend
+	default:
+		fmt.Fprintf(os.Stderr, "ppbench: unknown -backend %q (want sim or host)\n", *backend)
+		os.Exit(2)
+	}
 	if *loss != "" {
 		for _, f := range strings.Split(*loss, ",") {
 			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -209,6 +217,9 @@ Flag groups:
                                  the largest point exceeds M ms on the host
   host         -procs N  worker threads to fan points across (0 = GOMAXPROCS);
                output is byte-identical for every value
+               -backend sim|host  substrate for ext-host (empty or host:
+               run both halves and report shape agreement; sim: skip the
+               wall-clock half)
 `)
 }
 

@@ -37,6 +37,8 @@ configured.
 Flag groups:
   workload       -proto -side -procs -conns -size -checksum -lock
                  -layout -strategy -warmup -measure -seed
+  substrate      -backend sim|host (host: real goroutines, wall-clock
+                 windows, plain packet-level shapes only)
   scale-out      -timerwheel -pool -buckets -active -compactslots
                  (hierarchical TCP timer wheel, pooled TCBs, demux
                  table sizing, idle-connection ladder, bounded sink
@@ -73,6 +75,7 @@ func main() {
 		warmupMs  = flag.Int64("warmup", 500, "virtual warm-up, ms")
 		measureMs = flag.Int64("measure", 1000, "virtual measurement interval, ms")
 		seed      = flag.Uint64("seed", 1994, "PRNG seed")
+		backend   = flag.String("backend", "sim", "execution substrate: sim (deterministic virtual time) or host (real goroutines; -warmup/-measure become wall-clock ms, so keep them short)")
 
 		// Million-flow scale-out.
 		timerwheel   = flag.Bool("timerwheel", false, "TCP: hierarchical timing wheel instead of scan-based timers (O(expiring) per tick)")
@@ -204,6 +207,14 @@ func main() {
 	cfg.DemuxBuckets = *buckets
 	cfg.ActiveConns = *active
 	cfg.Seed = *seed
+	switch *backend {
+	case "sim":
+		cfg.Backend = sim.BackendSim
+	case "host":
+		cfg.Backend = sim.BackendHost
+	default:
+		fatal("unknown -backend %q (want sim or host)", *backend)
+	}
 	if *traceOut != "" {
 		cfg.Trace = true
 		cfg.TraceDepth = *traceDepth

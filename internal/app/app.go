@@ -7,6 +7,8 @@
 package app
 
 import (
+	"sync/atomic"
+
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/xkernel"
@@ -20,6 +22,9 @@ type Sink struct {
 	// Seq is the sequencer tickets were drawn from (the connection's).
 	Seq *sim.Sequencer
 
+	// pkts/bytes are written under lock (the paper's critical section)
+	// but read lock-free by measurement snapshots, which on the host
+	// backend run concurrently with deliveries — hence atomic adds.
 	lock  sim.Mutex
 	pkts  int64
 	bytes int64
@@ -62,8 +67,8 @@ func (s *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 		first = m.Bytes()[0]
 	}
 	s.lock.Acquire(t)
-	s.pkts += segs
-	s.bytes += int64(n)
+	atomic.AddInt64(&s.pkts, segs)
+	atomic.AddInt64(&s.bytes, int64(n))
 	s.LastFirstByte = first
 	s.lock.Release(t)
 	if s.Ordered && m.Ticketed && s.Seq != nil {
@@ -76,10 +81,10 @@ func (s *Sink) Receive(t *sim.Thread, m *msg.Message) error {
 
 // Bytes returns payload bytes delivered — the receive-side throughput
 // measurement point.
-func (s *Sink) Bytes() int64 { return s.bytes }
+func (s *Sink) Bytes() int64 { return atomic.LoadInt64(&s.bytes) }
 
 // Packets returns messages delivered.
-func (s *Sink) Packets() int64 { return s.pkts }
+func (s *Sink) Packets() int64 { return atomic.LoadInt64(&s.pkts) }
 
 var _ xkernel.Receiver = (*Sink)(nil)
 

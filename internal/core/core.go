@@ -89,6 +89,19 @@ type Config struct {
 	Machine         cost.Machine
 	Seed            uint64
 
+	// Backend selects the execution substrate. The default, BackendSim,
+	// is the deterministic virtual-time scheduler — the paper's
+	// methodology, byte-identical across runs. BackendHost runs the same
+	// stack on real goroutines with sync-based lock implementations and
+	// the host monotonic clock; throughput is then measured in wall-clock
+	// time and runs are nondeterministic. Host mode supports the plain
+	// packet-level shapes only — validateBackend rejects the knobs whose
+	// semantics require virtual time (tracing, telemetry sampling, fault
+	// injection, batching, steering, the timer wheel, alternative
+	// strategies) and forces the per-processor message cache off (its
+	// free lists assume one thread per proc).
+	Backend sim.Backend
+
 	// Faults configures the deterministic fault-injection wire between
 	// the driver and the FDDI layer (drop/duplicate/corrupt/delay/
 	// reorder, per direction). All-zero — the default — builds the
@@ -292,9 +305,12 @@ func Build(cfg Config) (*Stack, error) {
 	if err := validateBatch(&cfg); err != nil {
 		return nil, err
 	}
+	if err := validateBackend(&cfg); err != nil {
+		return nil, err
+	}
 	s := &Stack{Cfg: cfg}
 	s.batchOn = cfg.Batch.Active()
-	s.Eng = sim.New(cost.NewModel(cfg.Machine), cfg.Seed+1)
+	s.Eng = sim.NewBackend(cost.NewModel(cfg.Machine), cfg.Seed+1, cfg.Backend)
 	if cfg.Trace {
 		// procs+2 tracks: pumps plus the control and event threads.
 		s.Rec = trace.New(cfg.Procs+2, cfg.TraceDepth)
@@ -446,6 +462,58 @@ func demuxBuckets(cfg *Config) int {
 		b <<= 1
 	}
 	return b
+}
+
+// validateBackend checks the configuration against what the host
+// backend supports and normalizes it. Host mode runs the plain
+// packet-level shapes (TCP/UDP x send/recv, optionally ticketed); the
+// determinism-dependent and engine-serialized subsystems are rejected
+// rather than silently producing wrong numbers:
+//
+//   - Trace and SamplePeriodNs record virtual-time series; wall-clock
+//     runs would corrupt their invariants (and the recorder's rings are
+//     engine-serialized).
+//   - Faults, Batch, Steer, TimerWheel and PoolTCBs keep engine-
+//     serialized state (deterministic RNG schedules, scratch lists,
+//     free lists) that real concurrency would race on.
+//   - Unwired threads migrate via the simulated scheduler; a host
+//     goroutine has no migration to model, so Wired is required.
+//   - MapLocking off relies on the engine serializing map access.
+//
+// The per-processor message cache is forced off (not rejected): its
+// free lists are only safe when exactly one thread owns each proc,
+// which host mode does not guarantee. The allocator's arena path is
+// host-safe.
+func validateBackend(cfg *Config) error {
+	switch cfg.Backend {
+	case sim.BackendSim:
+		return nil
+	case sim.BackendHost:
+	default:
+		return fmt.Errorf("core: unknown backend %d", cfg.Backend)
+	}
+	switch {
+	case cfg.Strategy != StrategyPacket:
+		return errors.New("core: host backend supports the packet-level strategy only")
+	case cfg.Steer.Enabled:
+		return errors.New("core: host backend does not support steering")
+	case cfg.Batch.Enabled:
+		return errors.New("core: host backend does not support receive batching")
+	case cfg.Faults.Enabled():
+		return errors.New("core: host backend does not support fault injection")
+	case cfg.TimerWheel || cfg.PoolTCBs:
+		return errors.New("core: host backend does not support the timer wheel or TCB pooling")
+	case cfg.Trace:
+		return errors.New("core: host backend does not support the flight recorder")
+	case cfg.SamplePeriodNs > 0:
+		return errors.New("core: host backend does not support telemetry sampling")
+	case !cfg.Wired:
+		return errors.New("core: host backend requires wired threads")
+	case !cfg.MapLocking:
+		return errors.New("core: host backend requires map locking")
+	}
+	cfg.MsgCache = false
+	return nil
 }
 
 // activeConns returns how many connections the pumps drive.
@@ -729,8 +797,16 @@ func (s *Stack) Run(warmupNs, measureNs int64) (RunResult, error) {
 	var res RunResult
 	var runErr error
 
-	s.Wheel.Start(s.Eng, 0)
-	s.Eng.Spawn("control", 0, func(t *sim.Thread) {
+	controlProc, wheelProc := 0, 0
+	if s.Eng.IsHost() {
+		// Pumps own (and are pinned to) procs 0..Procs-1; the control
+		// and event threads ride on unpinned procs above them so the
+		// measurement window is not perturbed by housekeeping.
+		controlProc, wheelProc = cfg.Procs, cfg.Procs+1
+		s.Eng.SetHostPinning(cfg.Procs)
+	}
+	s.Wheel.Start(s.Eng, wheelProc)
+	s.Eng.Spawn("control", controlProc, func(t *sim.Thread) {
 		defer func() {
 			// Teardown must happen even on setup errors or the wheel
 			// thread keeps the simulation alive. The stop flag goes up

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/steer"
+)
+
+// hostConfig builds a small host-backend configuration.
+func hostConfig(proto Proto, side Side, kind sim.LockKind, procs, conns int) Config {
+	cfg := DefaultConfig()
+	cfg.Proto = proto
+	cfg.Side = side
+	cfg.LockKind = kind
+	cfg.Procs = procs
+	cfg.Connections = conns
+	cfg.Backend = sim.BackendHost
+	return cfg
+}
+
+// TestHostBackendSmoke: every supported shape completes a short real-
+// time run on real goroutines and moves traffic. Windows are wall-clock
+// here, so they are kept short; throughput numbers are nondeterministic
+// and only checked for being nonzero.
+func TestHostBackendSmoke(t *testing.T) {
+	const (
+		warmup  = 2_000_000  // 2 ms wall
+		measure = 20_000_000 // 20 ms wall
+	)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"udp-send", hostConfig(ProtoUDP, SideSend, sim.KindMutex, 2, 1)},
+		{"udp-recv", hostConfig(ProtoUDP, SideRecv, sim.KindMutex, 2, 1)},
+		{"tcp-send", hostConfig(ProtoTCP, SideSend, sim.KindMutex, 2, 1)},
+		{"tcp-recv-mutex", hostConfig(ProtoTCP, SideRecv, sim.KindMutex, 2, 1)},
+		{"tcp-recv-mcs", hostConfig(ProtoTCP, SideRecv, sim.KindMCS, 2, 1)},
+		{"tcp-recv-ticket", hostConfig(ProtoTCP, SideRecv, sim.KindTicket, 2, 1)},
+		{"tcp-recv-conn-per-proc", hostConfig(ProtoTCP, SideRecv, sim.KindMCS, 2, 2)},
+		{"tcp-recv-ticketed", func() Config {
+			cfg := hostConfig(ProtoTCP, SideRecv, sim.KindMutex, 2, 1)
+			cfg.Ticketing = true
+			return cfg
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Real-time runs on an oversubscribed (or race-instrumented)
+			// machine can stall for a whole measurement window when the
+			// scheduler starves the one goroutine carrying the head-of-
+			// line segment; retry a few times before calling it broken.
+			var last RunResult
+			for attempt := 0; attempt < 3; attempt++ {
+				st, err := Build(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.Eng.IsHost() {
+					t.Fatal("Backend=host built a sim engine")
+				}
+				last, err = st.Run(warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if last.Mbps > 0 {
+					return
+				}
+			}
+			t.Errorf("no traffic moved in 3 attempts: %+v", last)
+		})
+	}
+}
+
+// TestHostBackendRejects: the determinism-dependent knobs must fail
+// Build loudly instead of producing silently wrong wall-clock numbers.
+func TestHostBackendRejects(t *testing.T) {
+	mutate := map[string]func(*Config){
+		"strategy-connection": func(c *Config) {
+			c.Proto, c.Side = ProtoTCP, SideRecv
+			c.Strategy = StrategyConnection
+			c.Connections = 2
+		},
+		"strategy-layered": func(c *Config) {
+			c.Proto, c.Side = ProtoTCP, SideRecv
+			c.Strategy = StrategyLayered
+			c.Procs = 3
+		},
+		"steer": func(c *Config) {
+			c.Side = SideRecv
+			c.Steer = steer.Config{Enabled: true}
+		},
+		"batch": func(c *Config) {
+			c.Proto, c.Side = ProtoTCP, SideRecv
+			c.Batch = msg.BatchConfig{Enabled: true, MaxSegs: 4}
+		},
+		"faults": func(c *Config) {
+			c.Proto, c.Side = ProtoTCP, SideRecv
+			c.Faults = driver.FaultConfig{Down: driver.FaultRates{Drop: 0.01}}
+		},
+		"timer-wheel":  func(c *Config) { c.Proto = ProtoTCP; c.TimerWheel = true },
+		"trace":        func(c *Config) { c.Trace = true },
+		"telemetry":    func(c *Config) { c.SamplePeriodNs = 1_000_000 },
+		"unwired":      func(c *Config) { c.Wired = false },
+		"map-unlocked": func(c *Config) { c.MapLocking = false },
+	}
+	for name, fn := range mutate {
+		cfg := DefaultConfig()
+		cfg.Backend = sim.BackendHost
+		fn(&cfg)
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("%s: Build accepted an unsupported host configuration", name)
+		}
+	}
+}
+
+// TestHostBackendCacheForcedOff: host mode must not run the per-
+// processor message cache (its free lists assume one thread per proc).
+func TestHostBackendCacheForcedOff(t *testing.T) {
+	cfg := hostConfig(ProtoUDP, SideSend, sim.KindMutex, 1, 1)
+	cfg.MsgCache = true
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cfg.MsgCache {
+		t.Error("Build left MsgCache on for a host-backend stack")
+	}
+}
+
+// TestBackendSimIdentity pins the refactor's compatibility contract:
+// setting Backend to BackendSim explicitly is the seed build — same
+// engine, same validation path, bit-identical results — across the
+// representative shapes, including the steered and batched subsystems
+// host mode rejects.
+func TestBackendSimIdentity(t *testing.T) {
+	shapes := map[string]Config{
+		"udp-send": func() Config {
+			cfg := DefaultConfig()
+			cfg.Procs = 4
+			return cfg
+		}(),
+		"tcp-recv": func() Config {
+			cfg := DefaultConfig()
+			cfg.Proto, cfg.Side = ProtoTCP, SideRecv
+			cfg.Procs = 4
+			cfg.LockKind = sim.KindMCS
+			return cfg
+		}(),
+		"steered": steeredConfig(steer.PolicyFlowDirector),
+		"batched": batchTCPRecv(8),
+	}
+	for name, base := range shapes {
+		explicit := base
+		explicit.Backend = sim.BackendSim
+		a, b := runOne(t, base), runOne(t, explicit)
+		if a != b {
+			t.Errorf("%s: explicit Backend=sim diverged from the default:\ndefault:  %+v\nexplicit: %+v", name, a, b)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package driver
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chksum"
 	"repro/internal/event"
@@ -43,6 +45,9 @@ type SimTCPReceiver struct {
 	conns map[uint32]*simRecvConn
 	list  []*simRecvConn
 
+	// Aggregate counters (atomic adds: TX runs on whichever pump
+	// thread carries the frame, concurrently on the host backend, and
+	// measurement snapshots read mid-run).
 	pkts     int64
 	bytes    int64
 	wireSegs int64
@@ -59,13 +64,21 @@ type simRecvConn struct {
 	// Port pair from the real sender's perspective.
 	sport, dport uint16
 	iss          uint32
-	maxEnd       uint32 // cumulative ack point
-	lastEnd      uint32 // wire-order probe
-	started      bool
-	unacked      int
-	pendingAck   bool
-	ranges       []simRange // Strict: sorted OOO ranges beyond maxEnd
-	tmpl         []byte     // preconstructed ack frame (peer -> sender)
+
+	// mu guards the mutable fields below. On the host backend,
+	// concurrent pump threads (and the ack-flush event thread) race on
+	// them; under the sim engine the lock is uncontended and charges no
+	// virtual time. It is never held across inject — an injected
+	// SYN-ACK re-enters TX on the same call stack.
+	mu sync.Mutex
+
+	maxEnd     uint32 // cumulative ack point
+	lastEnd    uint32 // wire-order probe
+	started    bool
+	unacked    int
+	pendingAck bool
+	ranges     []simRange // Strict: sorted OOO ranges beyond maxEnd
+	tmpl       []byte     // preconstructed ack frame (peer -> sender)
 }
 
 // NewSimTCPReceiver builds the driver with conns preconfigured
@@ -97,14 +110,16 @@ func (d *SimTCPReceiver) SetUpper(up xkernel.Upper) { d.up = up }
 
 // Bytes returns the payload bytes consumed — the send-side throughput
 // measurement point.
-func (d *SimTCPReceiver) Bytes() int64 { return d.bytes }
+func (d *SimTCPReceiver) Bytes() int64 { return atomic.LoadInt64(&d.bytes) }
 
 // Packets returns the data segments consumed.
-func (d *SimTCPReceiver) Packets() int64 { return d.pkts }
+func (d *SimTCPReceiver) Packets() int64 { return atomic.LoadInt64(&d.pkts) }
 
 // WireOrder returns (misordered, total) data segments as seen at the
 // driver: packets that passed each other between TCP and the wire.
-func (d *SimTCPReceiver) WireOrder() (int64, int64) { return d.wireOOO, d.wireSegs }
+func (d *SimTCPReceiver) WireOrder() (int64, int64) {
+	return atomic.LoadInt64(&d.wireOOO), atomic.LoadInt64(&d.wireSegs)
+}
 
 // TX consumes one outbound frame and reacts as the remote TCP would.
 // The adaptor ring serializes per-frame work under the driver lock.
@@ -136,7 +151,7 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 	if d.Strict && len(frame) >= tcpFrameHdr &&
 		(frame[offTCP+18] != 0 || frame[offTCP+19] != 0) &&
 		!chksum.Verify(HostLocal, HostPeer, ip.ProtoTCP, frame[offTCP:]) {
-		d.badSum++
+		atomic.AddInt64(&d.badSum, 1)
 		m.Free(t)
 		return nil
 	}
@@ -146,45 +161,60 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 	switch {
 	case sg.Flags&tcp.FlagSYN != 0 && sg.Flags&tcp.FlagACK == 0:
 		// Active open from the real TCP: complete the handshake.
+		c.mu.Lock()
 		c.maxEnd = sg.Seq + 1
 		c.lastEnd = c.maxEnd
 		c.started = true
-		return d.inject(t, c, tcp.FlagSYN|tcp.FlagACK, c.iss, c.maxEnd)
+		ack := c.maxEnd
+		c.mu.Unlock()
+		return d.inject(t, c, tcp.FlagSYN|tcp.FlagACK, c.iss, ack)
 
 	case sg.Flags&tcp.FlagFIN != 0:
 		end := sg.Seq + uint32(sg.DLen) + 1
+		c.mu.Lock()
 		if int32(end-c.maxEnd) > 0 {
 			c.maxEnd = end
 		}
-		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		ack := c.maxEnd
+		c.mu.Unlock()
+		return d.inject(t, c, tcp.FlagACK, c.iss+1, ack)
 
 	case sg.DLen > 0:
 		end := sg.Seq + uint32(sg.DLen)
-		d.wireSegs++
+		atomic.AddInt64(&d.wireSegs, 1)
+		c.mu.Lock()
 		if int32(sg.Seq-c.lastEnd) < 0 {
 			// This segment was passed by a later one below TCP
 			// ("threads pass each other ... before reaching the FDDI
 			// driver", Section 4.1).
-			d.wireOOO++
+			atomic.AddInt64(&d.wireOOO, 1)
 		} else {
 			c.lastEnd = end
 		}
 		if d.Strict {
+			c.mu.Unlock()
 			return d.strictData(t, c, sg.Seq, end, born)
 		}
 		if int32(end-c.maxEnd) > 0 {
 			c.maxEnd = end
 		}
-		d.pkts++
-		d.bytes += int64(sg.DLen)
+		atomic.AddInt64(&d.pkts, 1)
+		atomic.AddInt64(&d.bytes, int64(sg.DLen))
 		t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		c.unacked++
+		doAck := false
 		if c.unacked >= d.AckEvery {
 			c.unacked = 0
 			c.pendingAck = false
-			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+			doAck = true
+		} else {
+			c.pendingAck = true
 		}
-		c.pendingAck = true
+		ack := c.maxEnd
+		c.mu.Unlock()
+		if doAck {
+			return d.inject(t, c, tcp.FlagACK, c.iss+1, ack)
+		}
 		return nil
 
 	default:
@@ -199,10 +229,13 @@ func (d *SimTCPReceiver) TX(t *sim.Thread, m *msg.Message) error {
 // out-of-order arrival triggers an immediate duplicate ack so the real
 // sender's fast-retransmit counter can fire.
 func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint32, born int64) error {
+	c.mu.Lock()
+	doAck := true
+	var ack uint32
 	switch {
 	case int32(end-c.maxEnd) <= 0:
 		// Entirely old: a retransmission of data already acknowledged.
-		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		ack = c.maxEnd
 
 	case int32(seq-c.maxEnd) <= 0:
 		// Advances the cumulative point. Count only bytes not already
@@ -225,8 +258,8 @@ func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint
 			counted += int64(end - newStart)
 		}
 		if counted > 0 {
-			d.pkts++
-			d.bytes += counted
+			atomic.AddInt64(&d.pkts, 1)
+			atomic.AddInt64(&d.bytes, counted)
 			t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		}
 		filledGap := len(c.ranges) > 0
@@ -237,34 +270,41 @@ func (d *SimTCPReceiver) strictData(t *sim.Thread, c *simRecvConn, seq, end uint
 			}
 			c.ranges = c.ranges[1:]
 		}
-		if filledGap {
+		switch {
+		case filledGap:
 			// A retransmission just filled (part of) a hole: ack the
 			// jump immediately so the stalled sender reopens its window
 			// now, not at the next delayed-ack flush.
 			c.unacked = 0
 			c.pendingAck = false
-			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		default:
+			c.unacked++
+			if c.unacked >= d.AckEvery {
+				c.unacked = 0
+				c.pendingAck = false
+			} else {
+				c.pendingAck = true
+				doAck = false
+			}
 		}
-		c.unacked++
-		if c.unacked >= d.AckEvery {
-			c.unacked = 0
-			c.pendingAck = false
-			return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
-		}
-		c.pendingAck = true
-		return nil
+		ack = c.maxEnd
 
 	default:
 		// Gap: park the range and tell the sender where we are, now.
 		if c.park(seq, end) {
-			d.pkts++
-			d.bytes += int64(end - seq)
+			atomic.AddInt64(&d.pkts, 1)
+			atomic.AddInt64(&d.bytes, int64(end-seq))
 			t.Engine().Rec.Deliver(t.Proc, t.Now(), born)
 		}
 		c.unacked = 0
 		c.pendingAck = false
-		return d.inject(t, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+		ack = c.maxEnd
 	}
+	c.mu.Unlock()
+	if doAck {
+		return d.inject(t, c, tcp.FlagACK, c.iss+1, ack)
+	}
+	return nil
 }
 
 // park inserts [s, e) into the sorted out-of-order list; false means
@@ -286,7 +326,7 @@ func (c *simRecvConn) park(s, e uint32) bool {
 }
 
 // BadChecksums reports frames rejected by Strict-mode verification.
-func (d *SimTCPReceiver) BadChecksums() int64 { return d.badSum }
+func (d *SimTCPReceiver) BadChecksums() int64 { return atomic.LoadInt64(&d.badSum) }
 
 // inject builds an acknowledgement from the preconstructed template and
 // sends it back up the stack on the calling thread.
@@ -317,10 +357,17 @@ func (d *SimTCPReceiver) StartAckFlush(t *sim.Thread, wheel *event.Wheel) {
 			return
 		}
 		for _, c := range d.list {
-			if c.pendingAck && c.started {
+			c.mu.Lock()
+			do := c.pendingAck && c.started
+			var ack uint32
+			if do {
 				c.pendingAck = false
 				c.unacked = 0
-				d.inject(et, c, tcp.FlagACK, c.iss+1, c.maxEnd)
+				ack = c.maxEnd
+			}
+			c.mu.Unlock()
+			if do {
+				d.inject(et, c, tcp.FlagACK, c.iss+1, ack)
 			}
 		}
 		wheel.Schedule(et, flush, nil, 200_000_000)

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/msg"
 	"repro/internal/sim"
@@ -34,15 +35,20 @@ type SimTCPSender struct {
 	rexmtTO  int64 // resends triggered by the Produce timeout
 }
 
+// simSendConn per-connection state. estab/ackOff/rcvWnd are written by
+// whichever thread carries the receiver's outbound ack (TX) and read by
+// the producing threads; on the host backend those run concurrently, so
+// the fields are atomic. dupAcks and the rexmt counters are
+// FaultRecovery-only, which the host backend rejects.
 type simSendConn struct {
 	sport, dport uint16 // driver's perspective: peer -> local stack
 	iss          uint32
 	irs          uint32
-	estab        bool
+	estab        atomic.Bool
 	next         sim.Counter // payload offset allocator: in-order production
-	ackOff       uint32      // acknowledged payload offset
-	rcvWnd       uint32
-	dupAcks      int // FaultRecovery: consecutive duplicate acks seen
+	ackOff       uint32      // acknowledged payload offset (atomic, monotonic max)
+	rcvWnd       uint32      // atomic
+	dupAcks      int         // FaultRecovery: consecutive duplicate acks seen
 	tmpl         []byte
 }
 
@@ -80,7 +86,7 @@ func (d *SimTCPSender) Start(t *sim.Thread, conn int) error {
 	if err := d.StartAsync(t, conn); err != nil {
 		return err
 	}
-	if !d.conns[conn].estab {
+	if !d.conns[conn].estab.Load() {
 		return fmt.Errorf("driver: connection %d failed to establish", conn)
 	}
 	return nil
@@ -95,7 +101,7 @@ func (d *SimTCPSender) StartAsync(t *sim.Thread, conn int) error {
 }
 
 // Established reports connection state (tests).
-func (d *SimTCPSender) Established(conn int) bool { return d.conns[conn].estab }
+func (d *SimTCPSender) Established(conn int) bool { return d.conns[conn].estab.Load() }
 
 // TX absorbs the real TCP's outbound segments: the SYN-ACK during setup
 // and window-updating acknowledgements during data transfer.
@@ -129,28 +135,37 @@ func (d *SimTCPSender) TX(t *sim.Thread, m *msg.Message) error {
 	switch {
 	case sg.Flags&(tcp.FlagSYN|tcp.FlagACK) == tcp.FlagSYN|tcp.FlagACK:
 		c.irs = sg.Seq
-		c.rcvWnd = sg.Win
-		c.estab = true
+		atomic.StoreUint32(&c.rcvWnd, sg.Win)
+		c.estab.Store(true)
 		// Ack the SYN-ACK; data may then flow.
 		return d.injectControl(t, c, tcp.FlagACK, c.iss+1, c.irs+1)
 	case sg.Flags&tcp.FlagACK != 0:
 		off := sg.Ack - c.iss - 1
-		if int32(off-c.ackOff) > 0 {
-			c.ackOff = off
+		cur := atomic.LoadUint32(&c.ackOff)
+		if int32(off-cur) > 0 {
+			// Monotonic max: on the host backend, acks carried by
+			// different threads race here and a stale smaller ack must
+			// not roll the edge back.
+			for !atomic.CompareAndSwapUint32(&c.ackOff, cur, off) {
+				cur = atomic.LoadUint32(&c.ackOff)
+				if int32(off-cur) <= 0 {
+					break
+				}
+			}
 			c.dupAcks = 0
-		} else if d.FaultRecovery && c.estab && sg.DLen == 0 &&
-			off == c.ackOff && int32(off-uint32(c.next.Load())) < 0 {
+		} else if d.FaultRecovery && c.estab.Load() && sg.DLen == 0 &&
+			off == cur && int32(off-uint32(c.next.Load())) < 0 {
 			// Duplicate ack while data is outstanding: the receiver is
 			// missing the segment right at the ack point.
 			c.dupAcks++
 			if c.dupAcks >= 3 {
 				c.dupAcks = 0
 				d.rexmtDup++
-				c.rcvWnd = sg.Win
+				atomic.StoreUint32(&c.rcvWnd, sg.Win)
 				return d.resend(t, c)
 			}
 		}
-		c.rcvWnd = sg.Win
+		atomic.StoreUint32(&c.rcvWnd, sg.Win)
 		return nil
 	default:
 		return nil
@@ -177,9 +192,9 @@ func (d *SimTCPSender) produce(t *sim.Thread, conn int, stop *sim.Flag, grow int
 		if stop != nil && stop.Get() {
 			return nil, false, nil
 		}
-		if c.estab {
-			outstanding := uint32(c.next.Load()) - c.ackOff
-			if outstanding+ps <= c.rcvWnd {
+		if c.estab.Load() {
+			outstanding := uint32(c.next.Load()) - atomic.LoadUint32(&c.ackOff)
+			if outstanding+ps <= atomic.LoadUint32(&c.rcvWnd) {
 				break
 			}
 			if d.FaultRecovery && waited >= rexmtTimeoutNs {
@@ -211,7 +226,7 @@ func (d *SimTCPSender) Rexmts() (int64, int64) { return d.rexmtDup, d.rexmtTO }
 // sequential in payload-sized units, so the lost segment starts
 // exactly at ackOff.
 func (d *SimTCPSender) resend(t *sim.Thread, c *simSendConn) error {
-	seq := c.iss + 1 + c.ackOff
+	seq := c.iss + 1 + atomic.LoadUint32(&c.ackOff)
 	m, err := d.alloc.New(t, len(c.tmpl), 0)
 	if err != nil {
 		return err
@@ -243,11 +258,11 @@ func (d *SimTCPSender) resend(t *sim.Thread, c *simSendConn) error {
 func (d *SimTCPSender) TryProduce(t *sim.Thread, conn int) (*msg.Message, bool, error) {
 	c := d.conns[conn]
 	ps := uint32(d.payload)
-	if !c.estab {
+	if !c.estab.Load() {
 		return nil, false, nil
 	}
-	outstanding := uint32(c.next.Load()) - c.ackOff
-	if outstanding+ps > c.rcvWnd {
+	outstanding := uint32(c.next.Load()) - atomic.LoadUint32(&c.ackOff)
+	if outstanding+ps > atomic.LoadUint32(&c.rcvWnd) {
 		return nil, false, nil
 	}
 	return d.build(t, c, ps, 0)

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/msg"
 	"repro/internal/sim"
@@ -30,7 +31,9 @@ func PeerPort(i int) uint16 { return uint16(2000 + i + i>>16) }
 // work under the driver lock, a short shared section every packet from
 // every processor must pass through.
 type UDPSink struct {
-	ring  sim.Mutex
+	ring sim.Mutex
+	// Counted under the ring lock but snapshotted lock-free by
+	// mid-run measurement on the host backend — hence atomic.
 	pkts  int64
 	bytes int64
 }
@@ -49,8 +52,8 @@ func (s *UDPSink) TX(t *sim.Thread, m *msg.Message) error {
 	s.ring.Acquire(t)
 	t.ChargeRand(st.DriverRing)
 	if m.Len() >= udpFrameHdr {
-		s.bytes += int64(m.Len() - udpFrameHdr)
-		s.pkts++
+		atomic.AddInt64(&s.bytes, int64(m.Len()-udpFrameHdr))
+		atomic.AddInt64(&s.pkts, 1)
 	}
 	s.ring.Release(t)
 	t.ChargeRand(st.DriverTX)
@@ -60,10 +63,10 @@ func (s *UDPSink) TX(t *sim.Thread, m *msg.Message) error {
 }
 
 // Bytes returns payload bytes consumed so far.
-func (s *UDPSink) Bytes() int64 { return s.bytes }
+func (s *UDPSink) Bytes() int64 { return atomic.LoadInt64(&s.bytes) }
 
 // Packets returns frames consumed so far.
-func (s *UDPSink) Packets() int64 { return s.pkts }
+func (s *UDPSink) Packets() int64 { return atomic.LoadInt64(&s.pkts) }
 
 // UDPSource produces inbound frames from preconstructed templates — the
 // receive-side UDP test's "sender".

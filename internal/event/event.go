@@ -6,6 +6,8 @@
 package event
 
 import (
+	"sync/atomic"
+
 	"repro/internal/sim"
 )
 
@@ -23,19 +25,21 @@ const (
 	StateCancelled
 )
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Its state is manipulated atomically:
+// per-chain locks protect the lists, but a handler's completion (set
+// outside any chain lock) can race a Cancel on the host backend.
 type Event struct {
 	fn       func(*sim.Thread, any)
 	arg      any
 	deadline int64 // virtual ns
-	state    State
+	state    atomic.Int32
 	slot     int
 	prev     *Event
 	next     *Event
 }
 
 // State returns the event's current state.
-func (e *Event) State() State { return e.state }
+func (e *Event) State() State { return State(e.state.Load()) }
 
 type chain struct {
 	lock sim.Locker
@@ -53,9 +57,9 @@ type Wheel struct {
 	perChain bool
 	single   sim.Locker
 	stop     *sim.Flag
-	nsched   int64
-	ncancel  int64
-	nfired   int64
+	nsched   atomic.Int64
+	ncancel  atomic.Int64
+	nfired   atomic.Int64
 }
 
 // Config controls wheel construction.
@@ -113,6 +117,7 @@ func (w *Wheel) Schedule(t *sim.Thread, fn func(*sim.Thread, any), arg any, dela
 		delay = 0
 	}
 	e := &Event{fn: fn, arg: arg, deadline: t.Now() + delay}
+	e.state.Store(int32(StatePending))
 	// A deadline on a tick boundary already reached would map to a slot
 	// whose tick has passed; bump it into the next tick's slot.
 	slotDeadline := e.deadline
@@ -128,7 +133,7 @@ func (w *Wheel) Schedule(t *sim.Thread, fn func(*sim.Thread, any), arg any, dela
 		c.head.prev = e
 	}
 	c.head = e
-	w.nsched++
+	w.nsched.Add(1)
 	c.lock.Release(t)
 	return e
 }
@@ -139,13 +144,13 @@ func (w *Wheel) Cancel(t *sim.Thread, e *Event) bool {
 	c := &w.chains[e.slot]
 	c.lock.Acquire(t)
 	t.ChargeRand(t.Engine().C.Stack.EventCancel)
-	if e.state != StatePending {
+	if e.State() != StatePending {
 		c.lock.Release(t)
 		return false
 	}
-	e.state = StateCancelled
+	e.state.Store(int32(StateCancelled))
 	w.unlink(c, e)
-	w.ncancel++
+	w.ncancel.Add(1)
 	c.lock.Release(t)
 	return true
 }
@@ -186,8 +191,8 @@ func (w *Wheel) runDue(t *sim.Thread, now int64) {
 	var due []*Event
 	for e := c.head; e != nil; {
 		next := e.next
-		if e.state == StatePending && e.deadline <= now {
-			e.state = StateRunning
+		if e.State() == StatePending && e.deadline <= now {
+			e.state.Store(int32(StateRunning))
 			w.unlink(c, e)
 			due = append(due, e)
 		}
@@ -198,12 +203,12 @@ func (w *Wheel) runDue(t *sim.Thread, now int64) {
 	// re-schedule themselves or cancel others.
 	for _, e := range due {
 		e.fn(t, e.arg)
-		e.state = StateDone
-		w.nfired++
+		e.state.Store(int32(StateDone))
+		w.nfired.Add(1)
 	}
 }
 
 // Counts returns (scheduled, cancelled, fired) totals.
 func (w *Wheel) Counts() (int64, int64, int64) {
-	return w.nsched, w.ncancel, w.nfired
+	return w.nsched.Load(), w.ncancel.Load(), w.nfired.Load()
 }

@@ -31,7 +31,7 @@ type Params struct {
 	// {1, 4, 8}; 1 means batching off); other experiments ignore it.
 	BatchSizes []int
 	// ScaleConns overrides the ext-scale connection ladder (default
-	// {1000, 10000, 100000}); other experiments ignore it.
+	// {1000, 10000, 100000, 1000000}); other experiments ignore it.
 	ScaleConns []int
 	// Workers bounds the host OS threads the runner fans independent
 	// simulation points across (0 means GOMAXPROCS). Results are
@@ -41,6 +41,12 @@ type Params struct {
 	// profile suite (ProfileSuiteSeries archives the series). 0 leaves
 	// sampling off; sweeps ignore it.
 	SamplePeriodNs int64
+	// Backend selects the execution substrate for the experiments that
+	// honor it. Today that is ext-host, which runs its strategy sweep on
+	// both substrates when Backend is "" or "host" and skips the
+	// wall-clock half when it is "sim". The paper-figure experiments are
+	// simulation-only and ignore it.
+	Backend string
 }
 
 // DefaultParams is the standard scaled-down methodology.
@@ -337,8 +343,14 @@ func specs() []Spec {
 		{
 			ID:      "ext-scale",
 			Figures: "(extension; hierarchical timing wheel + pooled state)",
-			Brief:   "Million-flow scale-out: idle-connection timer cost scan vs wheel, steered UDP swept 1k-100k connections",
+			Brief:   "Million-flow scale-out: idle-connection timer cost scan vs wheel, steered UDP swept 1k-1M connections",
 			Run:     runExtScale,
+		},
+		{
+			ID:      "ext-host",
+			Figures: "(extension; execution substrate)",
+			Brief:   "Sim-vs-host cross-validation: the TCP-1 mutex/MCS/conn-per-proc sweep on both substrates, with shape agreement",
+			Run:     runExtHost,
 		},
 		{
 			ID:      "ablation-wheel",

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/sim"
 )
 
 // workers resolves the host worker-thread count (0 means GOMAXPROCS).
@@ -91,6 +92,13 @@ type pointFuture = future[pointValue]
 // and are aggregated in run order once all complete.
 func submitPoint(cfg core.Config, p Params) *pointFuture {
 	slots := workerSlots(p.workers())
+	if cfg.Backend == sim.BackendHost {
+		// Host-backend runs measure wall-clock time on real goroutines;
+		// concurrent runs would time-share the processors and corrupt
+		// each other's windows, so they execute one at a time no matter
+		// how wide the pool is.
+		slots = workerSlots(1)
+	}
 	cfgs := core.RunConfigs(cfg, p.Runs)
 	runFuts := make([]*future[core.RunResult], len(cfgs))
 	for i, c := range cfgs {

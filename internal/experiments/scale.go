@@ -35,7 +35,7 @@ func scaleLadder(p Params) []int {
 	if len(p.ScaleConns) > 0 {
 		return p.ScaleConns
 	}
-	return []int{1_000, 10_000, 100_000}
+	return []int{1_000, 10_000, 100_000, 1_000_000}
 }
 
 // tcpScaleLadder derives the TCP idle-connection ladder: capped at 8192

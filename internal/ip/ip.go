@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/chksum"
 	"repro/internal/event"
@@ -67,7 +68,9 @@ type Protocol struct {
 	stats Stats
 }
 
-// Stats counts IP activity (engine-serialized counters).
+// Stats counts IP activity. Counters are bumped with atomic adds so
+// concurrent pump threads on the host backend stay race-clean; under
+// the sim engine the atomics are free and deterministic.
 type Stats struct {
 	Sent           int64
 	Received       int64
@@ -118,8 +121,19 @@ func New(cfg Config, low Lower, wheel *event.Wheel, alloc *msg.Allocator) *Proto
 // Ref returns the protocol reference count.
 func (p *Protocol) Ref() *sim.RefCount { return &p.ref }
 
-// Stats returns a copy of the counters.
-func (p *Protocol) Stats() Stats { return p.stats }
+// Stats returns a copy of the counters (atomic-load snapshot).
+func (p *Protocol) Stats() Stats {
+	return Stats{
+		Sent:           atomic.LoadInt64(&p.stats.Sent),
+		Received:       atomic.LoadInt64(&p.stats.Received),
+		FragsOut:       atomic.LoadInt64(&p.stats.FragsOut),
+		FragsIn:        atomic.LoadInt64(&p.stats.FragsIn),
+		Reassembled:    atomic.LoadInt64(&p.stats.Reassembled),
+		TimedOut:       atomic.LoadInt64(&p.stats.TimedOut),
+		ChecksumBad:    atomic.LoadInt64(&p.stats.ChecksumBad),
+		NotDeliverable: atomic.LoadInt64(&p.stats.NotDeliverable),
+	}
+}
 
 // DemuxMap exposes the transport demux map (statistics, tests).
 func (p *Protocol) DemuxMap() *xmap.Map { return p.upper }
@@ -203,7 +217,7 @@ func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
 			return err
 		}
 		writeHeader(h, m.Len(), id, 0, s.proto, s.src, s.dst)
-		s.p.stats.Sent++
+		atomic.AddInt64(&s.p.stats.Sent, 1)
 		return s.lower.Push(t, m)
 	}
 	// Fragment: payload chunks are multiples of 8 bytes except the
@@ -231,8 +245,8 @@ func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
 			flagsOff |= 0x2000 // MF
 		}
 		writeHeader(h, frag.Len(), id, flagsOff, s.proto, s.src, s.dst)
-		s.p.stats.Sent++
-		s.p.stats.FragsOut++
+		atomic.AddInt64(&s.p.stats.Sent, 1)
+		atomic.AddInt64(&s.p.stats.FragsOut, 1)
 		if err := s.lower.Push(t, frag); err != nil {
 			return err
 		}
@@ -282,7 +296,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 		return ErrShort
 	}
 	if chksum.Sum(h) != 0 {
-		p.stats.ChecksumBad++
+		atomic.AddInt64(&p.stats.ChecksumBad, 1)
 		m.Free(t)
 		return ErrBadChecksum
 	}
@@ -301,7 +315,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	var dst xkernel.IPAddr
 	copy(dst[:], h[16:20])
 	if !p.cfg.Promiscuous && dst != p.cfg.Local {
-		p.stats.NotDeliverable++
+		atomic.AddInt64(&p.stats.NotDeliverable, 1)
 		m.Free(t)
 		return ErrNotOurs
 	}
@@ -322,12 +336,12 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 		m = whole
 		copy(m.SrcAddr[:], h[12:16])
 		copy(m.DstAddr[:], h[16:20])
-		p.stats.Reassembled++
+		atomic.AddInt64(&p.stats.Reassembled, 1)
 	}
-	p.stats.Received++
+	atomic.AddInt64(&p.stats.Received, 1)
 	v, ok := p.upper.Resolve(t, xmap.ProtoKey(uint32(proto)))
 	if !ok {
-		p.stats.NotDeliverable++
+		atomic.AddInt64(&p.stats.NotDeliverable, 1)
 		m.Free(t)
 		return fmt.Errorf("ip: no transport for protocol %d", proto)
 	}
@@ -341,7 +355,7 @@ func (p *Protocol) reassemble(t *sim.Thread, k reassKey, flagsOff uint16, m *msg
 	st := &t.Engine().C.Stack
 	p.reassLock.Acquire(t)
 	t.ChargeRand(st.IPReass)
-	p.stats.FragsIn++
+	atomic.AddInt64(&p.stats.FragsIn, 1)
 	e := p.reass[k]
 	if e == nil {
 		e = &reassEntry{total: -1}
@@ -396,7 +410,7 @@ func (p *Protocol) expire(t *sim.Thread, k reassKey) {
 	}
 	p.reassLock.Release(t)
 	if e != nil {
-		p.stats.TimedOut++
+		atomic.AddInt64(&p.stats.TimedOut, 1)
 		for _, pc := range e.pieces {
 			pc.m.Free(t)
 		}

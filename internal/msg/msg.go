@@ -13,6 +13,7 @@ package msg
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -152,8 +153,16 @@ func NewAllocator(cfg Config) *Allocator {
 	return a
 }
 
-// Stats returns a copy of the counters.
-func (a *Allocator) Stats() Stats { return a.stats }
+// Stats returns a copy of the counters (atomic-load snapshot: host
+// threads on different procs bump them concurrently).
+func (a *Allocator) Stats() Stats {
+	return Stats{
+		CacheHits:   atomic.LoadInt64(&a.stats.CacheHits),
+		CacheMisses: atomic.LoadInt64(&a.stats.CacheMisses),
+		ArenaAllocs: atomic.LoadInt64(&a.stats.ArenaAllocs),
+		Frees:       atomic.LoadInt64(&a.stats.Frees),
+	}
+}
 
 // ArenaLockStats exposes the malloc-lock contention statistics.
 func (a *Allocator) ArenaLockStats() sim.LockStats { return a.arenaLock.Stats() }
@@ -180,13 +189,13 @@ func (a *Allocator) getNode(t *sim.Thread, size int) (*MNode, error) {
 			pc.free[cl] = n.next
 			pc.count[cl]--
 			n.next = nil
-			a.stats.CacheHits++
+			atomic.AddInt64(&a.stats.CacheHits, 1)
 			t.ChargeRand(st.MsgAllocCached)
 			n.lastProc = t.Proc
 			n.ref.Init(a.cfg.RefMode, 1)
 			return n, nil
 		}
-		a.stats.CacheMisses++
+		atomic.AddInt64(&a.stats.CacheMisses, 1)
 	}
 	// Global arena: the malloc path, serialized by one lock.
 	a.arenaLock.Acquire(t)
@@ -196,7 +205,7 @@ func (a *Allocator) getNode(t *sim.Thread, size int) (*MNode, error) {
 		a.arena[cl] = n.next
 		n.next = nil
 	} else {
-		a.stats.ArenaAllocs++
+		atomic.AddInt64(&a.stats.ArenaAllocs, 1)
 		n = &MNode{buf: make([]byte, classes[cl]), class: cl, alloc: a, lastProc: -1}
 	}
 	a.arenaLock.Release(t)
@@ -215,7 +224,7 @@ func (a *Allocator) getNode(t *sim.Thread, size int) (*MNode, error) {
 func (a *Allocator) putNode(t *sim.Thread, n *MNode) {
 	st := &t.Engine().C.Stack
 	t.ChargeRand(st.MsgFree)
-	a.stats.Frees++
+	atomic.AddInt64(&a.stats.Frees, 1)
 	if a.cfg.CacheEnabled {
 		pc := &a.perProc[t.Proc%len(a.perProc)]
 		if pc.count[n.class] < a.cfg.CacheDepth {

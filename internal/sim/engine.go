@@ -22,15 +22,24 @@
 //     the minimum virtual time. Because the engine serializes execution,
 //     such accesses are free of data races in the Go sense; Sync ordering
 //     makes them correct in virtual time as well.
-//   - Statistics counters may be updated with plain operations (they are
-//     engine-serialized and deterministic); results tolerate the small
-//     virtual-time slop this implies.
+//   - Statistics counters shared across threads use atomic operations:
+//     in sim mode the engine's serialization keeps them deterministic,
+//     and in host mode (below) they are what makes the code race-clean.
+//
+// The engine is a dual-mode execution substrate. NewBackend with
+// BackendHost builds an engine whose threads are real goroutines, whose
+// locks delegate to sync-based implementations with wall-clock wait and
+// hold accounting, and whose Now() reads the host monotonic clock — the
+// same *Thread handle and Locker interfaces, so protocol code compiles
+// unchanged against either backend. See host.go for the rules.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/telemetry"
@@ -173,30 +182,71 @@ type Engine struct {
 	// object (Section 2.1).
 	refPool [2]Mutex
 	refSeq  int
+
+	// host is non-nil when the engine runs on the host backend
+	// (BackendHost): real goroutines, sync-based locks, monotonic
+	// clock. All the scheduling state above is then unused.
+	host *hostEngine
 }
 
-// New creates an engine with the given cost model and seed.
+// New creates a simulation-backend engine with the given cost model and
+// seed.
 func New(model *cost.Model, seed uint64) *Engine {
+	return NewBackend(model, seed, BackendSim)
+}
+
+// NewBackend creates an engine on the chosen execution substrate. The
+// cost model is only consulted in sim mode but must still be valid (it
+// defaults if nil); the seed feeds per-thread RNGs in both modes.
+func NewBackend(model *cost.Model, seed uint64, backend Backend) *Engine {
 	if model == nil {
 		model = cost.NewModel(cost.Challenge100)
 	}
-	return &Engine{
+	e := &Engine{
 		C:      model,
 		stopC:  make(chan struct{}, 1),
 		drainC: make(chan struct{}),
 		limit:  -1,
 		rng:    NewRand(seed),
 	}
+	if backend == BackendHost {
+		e.host = &hostEngine{epoch: time.Now()}
+	}
+	return e
 }
 
-// Now returns the engine's current virtual time.
-func (e *Engine) Now() int64 { return e.now }
+// Now returns the engine's current virtual time — or, on the host
+// backend, monotonic wall-clock ns since the engine was created.
+func (e *Engine) Now() int64 {
+	if h := e.host; h != nil {
+		return h.now()
+	}
+	return e.now
+}
 
 // Spawn creates a thread bound to processor proc and schedules it at the
 // current virtual time. It may be called before Run or from a running
 // thread. Thread structs and worker goroutines are reused from the
 // engine's pool when available.
 func (e *Engine) Spawn(name string, proc int, fn func(*Thread)) *Thread {
+	if h := e.host; h != nil {
+		t := &Thread{
+			eng:    e,
+			name:   name,
+			Proc:   proc,
+			state:  stateRunning,
+			resume: make(chan struct{}, 1),
+			fn:     fn,
+		}
+		h.mu.Lock()
+		t.ID = e.nextID
+		e.nextID++
+		t.rng = NewRand(e.rng.Uint64())
+		h.mu.Unlock()
+		h.wg.Add(1)
+		go h.run(t)
+		return t
+	}
 	var t *Thread
 	if n := len(e.free); n > 0 {
 		t = e.free[n-1]
@@ -359,6 +409,13 @@ func (e *Engine) Run() {
 // Drain. When it returns zero the worker pool is released, so a
 // completed engine holds no goroutines.
 func (e *Engine) RunUntil(limit int64) int {
+	if h := e.host; h != nil {
+		if limit >= 0 {
+			panic("sim: RunUntil with a virtual-time limit is sim-only")
+		}
+		h.wg.Wait()
+		return 0
+	}
 	if e.started {
 		panic("sim: Run called reentrantly")
 	}
@@ -388,6 +445,9 @@ func (e *Engine) RunUntil(limit int64) int {
 // workers). It must not be called while Run is in progress, nor from a
 // simulated thread.
 func (e *Engine) Drain() {
+	if e.host != nil {
+		panic("sim: Drain is sim-only")
+	}
 	if e.started {
 		panic("sim: Drain called during Run")
 	}
@@ -419,6 +479,12 @@ func (e *Engine) releasePool() {
 // It must be called from a running thread (or the event path of one);
 // the engine's serialization makes it safe.
 func (e *Engine) Wake(t *Thread, at int64) {
+	if e.host != nil {
+		// Grant/wake times are virtual-time modeling artifacts; on the
+		// host the waiter simply becomes runnable now.
+		t.hostWake()
+		return
+	}
 	if t.state != stateBlocked {
 		panic("sim: Wake of " + t.name + " in state " + t.state.String())
 	}
@@ -509,11 +575,20 @@ func (t *Thread) Engine() *Engine { return t.eng }
 func (t *Thread) Rand() *Rand { return &t.rng }
 
 // Now returns the thread's local virtual clock. Between Syncs it may run
-// ahead of Engine.Now.
-func (t *Thread) Now() int64 { return t.vt }
+// ahead of Engine.Now. On the host backend it is the monotonic clock.
+func (t *Thread) Now() int64 {
+	if h := t.eng.host; h != nil {
+		return h.now()
+	}
+	return t.vt
+}
 
-// Charge advances the thread's virtual clock by ns of work.
+// Charge advances the thread's virtual clock by ns of work. On the host
+// backend time is not modeled — it elapses — so Charge is a no-op.
 func (t *Thread) Charge(ns int64) {
+	if t.eng.host != nil {
+		return
+	}
 	if ns > 0 {
 		t.vt += ns
 	}
@@ -521,6 +596,9 @@ func (t *Thread) Charge(ns int64) {
 
 // ChargeRand charges ns with the model's jitter applied.
 func (t *Thread) ChargeRand(ns int64) {
+	if t.eng.host != nil {
+		return
+	}
 	t.Charge(t.rng.Jitter(ns, t.eng.C.JitterFrac))
 }
 
@@ -558,27 +636,51 @@ func (t *Thread) yield(s threadState) {
 // Sync parks the thread until it holds the minimum virtual time among
 // runnable threads. On return it is safe to operate on shared simulation
 // state: all events before this thread's clock have already executed.
+// On the host backend there is no serialization to wait for: shared
+// state must be protected by locks or atomics, and Sync is a no-op.
 func (t *Thread) Sync() {
+	if t.eng.host != nil {
+		return
+	}
 	t.yield(stateReady)
 }
 
 // Block parks the thread until another thread calls Engine.Wake on it.
 // reason appears in deadlock dumps.
 func (t *Thread) Block(reason string) {
+	if t.eng.host != nil {
+		t.blockReason = reason
+		<-t.resume
+		t.blockReason = ""
+		return
+	}
 	t.blockReason = reason
 	t.yield(stateBlocked)
 	t.blockReason = ""
 }
 
 // Sleep advances the clock by d and parks until the engine catches up.
+// On the host backend it sleeps for d real nanoseconds.
 func (t *Thread) Sleep(d int64) {
+	if t.eng.host != nil {
+		if d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		return
+	}
 	t.Charge(d)
 	t.Sync()
 }
 
 // SleepUntil parks the thread until virtual time at (no-op if already
-// past).
+// past). On the host backend, at is a monotonic-clock deadline.
 func (t *Thread) SleepUntil(at int64) {
+	if h := t.eng.host; h != nil {
+		if d := at - h.now(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		return
+	}
 	if at > t.vt {
 		t.vt = at
 	}
@@ -586,8 +688,13 @@ func (t *Thread) SleepUntil(at int64) {
 }
 
 // Yield models an explicit processor yield (sched_yield): the send-side
-// test threads yield after every packet, as described in Section 3.
+// test threads yield after every packet, as described in Section 3. On
+// the host backend it is a real scheduler yield.
 func (t *Thread) Yield() {
+	if t.eng.host != nil {
+		runtime.Gosched()
+		return
+	}
 	t.Charge(t.eng.C.Stack.Yield)
 	t.Sync()
 }
@@ -598,6 +705,9 @@ func (t *Thread) Yield() {
 // Drivers invoke it while a packet is carried up the stack; the ordered
 // application invokes it between the transport and the ticket wait.
 func (t *Thread) Interfere() {
+	if t.eng.host != nil {
+		return // real interference happens on its own
+	}
 	m := t.eng.C
 	if m.InterfereProb > 0 && t.rng.Float64() < m.InterfereProb {
 		t.Charge(int64(t.rng.Uint64() % uint64(m.InterfereMax)))
@@ -611,5 +721,8 @@ func (t *Thread) MigrateTo(proc int) {
 		return
 	}
 	t.Proc = proc
+	if t.eng.host != nil {
+		return // affinity penalties are the host scheduler's business
+	}
 	t.ChargeRand(t.eng.C.Stack.Migrate)
 }

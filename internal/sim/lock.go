@@ -64,6 +64,10 @@ type Mutex struct {
 	waiters   []*mutexWaiter
 	stats     LockStats
 	inited    bool
+
+	// hm is the host-backend lock state (see host.go); unused in sim
+	// mode.
+	hm hostMutex
 }
 
 type mutexWaiter struct {
@@ -84,6 +88,10 @@ func (m *Mutex) init() {
 
 // Acquire blocks until the calling thread holds the lock.
 func (m *Mutex) Acquire(t *Thread) {
+	if t.eng.host != nil {
+		m.hostAcquire(t)
+		return
+	}
 	t.Sync()
 	m.init()
 	s := &t.eng.C.Sync
@@ -126,6 +134,10 @@ func (m *Mutex) Acquire(t *Thread) {
 // Release unlocks; if waiters exist, the earliest-probing one is granted
 // ownership directly.
 func (m *Mutex) Release(t *Thread) {
+	if t.eng.host != nil {
+		m.hostRelease(t)
+		return
+	}
 	t.Sync()
 	if !m.held || m.holder != t {
 		panic("sim: Mutex.Release by non-holder: " + m.Name)
@@ -171,10 +183,15 @@ func (m *Mutex) Release(t *Thread) {
 }
 
 // Stats returns a copy of the accumulated statistics.
-func (m *Mutex) Stats() LockStats { return m.stats }
+func (m *Mutex) Stats() LockStats { return loadStats(&m.stats, int(m.hm.maxWait.Load())) }
 
 // Holder reports whether t currently holds the lock (for assertions).
-func (m *Mutex) Holder(t *Thread) bool { return m.held && m.holder == t }
+func (m *Mutex) Holder(t *Thread) bool {
+	if t.eng.host != nil {
+		return m.hm.holder.Load() == t
+	}
+	return m.held && m.holder == t
+}
 
 // ---- MCSLock: FIFO queue lock (Mellor-Crummey & Scott) ----
 
@@ -191,6 +208,10 @@ type MCSLock struct {
 	queue     []*mcsWaiter
 	stats     LockStats
 	inited    bool
+
+	// hq is the host-backend FIFO lock state (see host.go); unused in
+	// sim mode.
+	hq hostMCS
 }
 
 type mcsWaiter struct {
@@ -208,6 +229,10 @@ func (m *MCSLock) init() {
 
 // Acquire enqueues FIFO and blocks until granted.
 func (m *MCSLock) Acquire(t *Thread) {
+	if t.eng.host != nil {
+		m.hq.acquire(t, &m.stats, m.Name)
+		return
+	}
 	t.Sync()
 	m.init()
 	s := &t.eng.C.Sync
@@ -238,6 +263,10 @@ func (m *MCSLock) Acquire(t *Thread) {
 
 // Release hands the lock to the queue head, if any.
 func (m *MCSLock) Release(t *Thread) {
+	if t.eng.host != nil {
+		m.hq.release(t, &m.stats, "mcs "+m.Name)
+		return
+	}
 	t.Sync()
 	if !m.held || m.holder != t {
 		panic("sim: MCSLock.Release by non-holder: " + m.Name)
@@ -263,7 +292,12 @@ func (m *MCSLock) Release(t *Thread) {
 }
 
 // Stats returns a copy of the accumulated statistics.
-func (m *MCSLock) Stats() LockStats { return m.stats }
+func (m *MCSLock) Stats() LockStats {
+	m.hq.mu.Lock()
+	hmax := m.hq.maxWait
+	m.hq.mu.Unlock()
+	return loadStats(&m.stats, hmax)
+}
 
 // ---- TicketLock: FIFO, but all waiters spin on one counter ----
 
@@ -280,6 +314,10 @@ type TicketLock struct {
 	queue     []*mcsWaiter
 	stats     LockStats
 	inited    bool
+
+	// hq is the host-backend ticket/serving pair (see host.go); unused
+	// in sim mode.
+	hq hostTicket
 }
 
 func (l *TicketLock) init() {
@@ -291,6 +329,10 @@ func (l *TicketLock) init() {
 
 // Acquire takes a ticket (FIFO) and blocks until served.
 func (l *TicketLock) Acquire(t *Thread) {
+	if t.eng.host != nil {
+		l.hq.acquire(t, &l.stats)
+		return
+	}
 	t.Sync()
 	l.init()
 	s := &t.eng.C.Sync
@@ -322,6 +364,10 @@ func (l *TicketLock) Acquire(t *Thread) {
 // Release serves the next ticket holder; the invalidation broadcast
 // charges the winner in proportion to the spinning crowd.
 func (l *TicketLock) Release(t *Thread) {
+	if t.eng.host != nil {
+		l.hq.release(t, &l.stats, l.Name)
+		return
+	}
 	t.Sync()
 	if !l.held || l.holder != t {
 		panic("sim: TicketLock.Release by non-holder: " + l.Name)
@@ -350,7 +396,7 @@ func (l *TicketLock) Release(t *Thread) {
 }
 
 // Stats returns a copy of the accumulated statistics.
-func (l *TicketLock) Stats() LockStats { return l.stats }
+func (l *TicketLock) Stats() LockStats { return loadStats(&l.stats, int(l.hq.maxWait.Load())) }
 
 // LockKind selects a lock implementation for protocol state.
 type LockKind int

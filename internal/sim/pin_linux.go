@@ -1,0 +1,27 @@
+//go:build linux
+
+package sim
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinToCPU binds the calling OS thread (which the caller has locked
+// with runtime.LockOSThread) to one host CPU, chosen as cpu modulo the
+// CPU count. Best-effort: any error is ignored — pinning sharpens the
+// host backend's per-proc affinity but nothing depends on it.
+func pinToCPU(cpu int) {
+	n := runtime.NumCPU()
+	if n <= 0 {
+		return
+	}
+	cpu %= n
+	var mask [16]uint64 // 1024-bit cpu_set_t
+	mask[(cpu/64)%len(mask)] = 1 << (uint(cpu) % 64)
+	syscall.Syscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, // current thread
+		unsafe.Sizeof(mask),
+		uintptr(unsafe.Pointer(&mask)))
+}

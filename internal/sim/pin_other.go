@@ -1,0 +1,7 @@
+//go:build !linux
+
+package sim
+
+// pinToCPU is a no-op outside linux: the host backend still runs, just
+// without CPU affinity.
+func pinToCPU(int) {}

@@ -1,11 +1,16 @@
 package sim
 
+import "sync/atomic"
+
 // Queue is a bounded blocking FIFO used for thread-to-thread packet
 // handoff by the connection-level and layered parallelization
 // strategies (the alternatives to packet-level parallelism surveyed in
 // Section 1 of the paper). Every dequeue charges the context-switch /
 // service-dispatch cost that made those strategies pay on real
 // hardware.
+//
+// The queue works unchanged on the host backend: its Mutex and Conds
+// are the dual-mode primitives.
 type Queue struct {
 	Name string
 
@@ -19,6 +24,10 @@ type Queue struct {
 	enqueued int64
 	dequeued int64
 	maxDepth int
+
+	// depth mirrors len(items) so Len() is safe without the lock on
+	// the host backend.
+	depth atomic.Int32
 }
 
 // NewQueue builds a queue holding at most capacity items.
@@ -46,6 +55,7 @@ func (q *Queue) Enqueue(t *Thread, item any) bool {
 	}
 	t.Charge(t.eng.C.Stack.QueueOp)
 	q.items = append(q.items, item)
+	q.depth.Store(int32(len(q.items)))
 	if len(q.items) > q.maxDepth {
 		q.maxDepth = len(q.items)
 	}
@@ -72,6 +82,7 @@ func (q *Queue) Dequeue(t *Thread) (any, bool) {
 	t.ChargeRand(t.eng.C.Stack.CtxSwitch)
 	item := q.items[0]
 	q.items = q.items[1:]
+	q.depth.Store(int32(len(q.items)))
 	q.dequeued++
 	q.notFull.Signal(t)
 	q.lock.Release(t)
@@ -90,6 +101,7 @@ func (q *Queue) TryDequeue(t *Thread) (any, bool) {
 	t.ChargeRand(t.eng.C.Stack.CtxSwitch)
 	item := q.items[0]
 	q.items = q.items[1:]
+	q.depth.Store(int32(len(q.items)))
 	q.dequeued++
 	q.notFull.Signal(t)
 	q.lock.Release(t)
@@ -107,6 +119,7 @@ func (q *Queue) TryEnqueue(t *Thread, item any) bool {
 	}
 	t.Charge(t.eng.C.Stack.QueueOp)
 	q.items = append(q.items, item)
+	q.depth.Store(int32(len(q.items)))
 	if len(q.items) > q.maxDepth {
 		q.maxDepth = len(q.items)
 	}
@@ -126,8 +139,9 @@ func (q *Queue) Close(t *Thread) {
 	q.lock.Release(t)
 }
 
-// Len returns the current depth (engine-serialized read).
-func (q *Queue) Len() int { return len(q.items) }
+// Len returns the current depth (lock-free snapshot; exact in sim mode,
+// racy-but-atomic on the host backend).
+func (q *Queue) Len() int { return int(q.depth.Load()) }
 
 // Stats returns (enqueued, dequeued, max depth).
 func (q *Queue) Stats() (int64, int64, int) { return q.enqueued, q.dequeued, q.maxDepth }

@@ -4,6 +4,18 @@ package sim
 // counting (recursive) locks for the map manager, reference counts in
 // atomic or lock-based mode, the bakery sequencer used for order
 // preservation above TCP, condition variables, and shared counters.
+//
+// The shared cells (Flag, Counter, RefCount, CountingLock ownership)
+// use Go atomics. In sim mode the engine serializes execution so the
+// atomics cost nothing extra and values stay deterministic; in host
+// mode they are what makes concurrent access race-clean. Virtual-time
+// charging (Sync, Charge, chargeLine) is sim-only and skipped on the
+// host backend.
+
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // CountingLock is the recursive lock the x-kernel map manager needs:
 // mapForEach can call back into map operations on the same thread, so if
@@ -11,7 +23,9 @@ package sim
 // (Section 2.1).
 type CountingLock struct {
 	inner Locker
-	owner *Thread
+	owner atomic.Pointer[Thread]
+	// depth is only touched by the current owner, under the inner
+	// lock's happens-before edges.
 	depth int
 }
 
@@ -22,23 +36,23 @@ func NewCountingLock(kind LockKind, name string) *CountingLock {
 
 // Acquire takes the lock, or increments the count if t already owns it.
 func (c *CountingLock) Acquire(t *Thread) {
-	if c.owner == t {
+	if c.owner.Load() == t {
 		c.depth++
 		return
 	}
 	c.inner.Acquire(t)
-	c.owner = t
+	c.owner.Store(t)
 	c.depth = 1
 }
 
 // Release decrements the count, releasing the lock at zero.
 func (c *CountingLock) Release(t *Thread) {
-	if c.owner != t {
+	if c.owner.Load() != t {
 		panic("sim: CountingLock.Release by non-owner")
 	}
 	c.depth--
 	if c.depth == 0 {
-		c.owner = nil
+		c.owner.Store(nil)
 		c.inner.Release(t)
 	}
 }
@@ -73,46 +87,60 @@ func (m RefMode) String() string {
 // bounces between processors.
 type RefCount struct {
 	mode     RefMode
-	v        int32
+	v        atomic.Int32
 	lastProc int
-	pool     *Mutex
+	pool     atomic.Pointer[Mutex]
 	inited   bool
 }
 
 // Init sets the mode and initial value. Must be called before use.
 func (r *RefCount) Init(mode RefMode, v int32) {
 	r.mode = mode
-	r.v = v
+	r.v.Store(v)
 	r.lastProc = -1
-	r.pool = nil
+	r.pool.Store(nil)
 	r.inited = true
 }
 
 // lock resolves this count's static pool lock (assigned round-robin on
 // first use, deterministically per engine).
 func (r *RefCount) lock(t *Thread) *Mutex {
-	if r.pool == nil {
-		e := t.eng
-		r.pool = &e.refPool[e.refSeq%len(e.refPool)]
-		e.refSeq++
+	if p := r.pool.Load(); p != nil {
+		return p
 	}
-	return r.pool
+	e := t.eng
+	if h := e.host; h != nil {
+		h.mu.Lock()
+		if r.pool.Load() == nil {
+			r.pool.Store(&e.refPool[e.refSeq%len(e.refPool)])
+			e.refSeq++
+		}
+		h.mu.Unlock()
+		return r.pool.Load()
+	}
+	r.pool.Store(&e.refPool[e.refSeq%len(e.refPool)])
+	e.refSeq++
+	return r.pool.Load()
 }
 
 // Incr atomically increments the count.
 func (r *RefCount) Incr(t *Thread) {
 	if r.mode == RefAtomic {
-		t.Sync()
-		t.Charge(t.eng.C.Sync.Atomic)
-		chargeLine(t, &r.lastProc)
-		r.v++
+		if t.eng.host == nil {
+			t.Sync()
+			t.Charge(t.eng.C.Sync.Atomic)
+			chargeLine(t, &r.lastProc)
+		}
+		r.v.Add(1)
 		return
 	}
 	lk := r.lock(t)
 	lk.Acquire(t)
-	t.Charge(t.eng.C.Sync.RefLockedWork)
-	chargeLine(t, &r.lastProc)
-	r.v++
+	if t.eng.host == nil {
+		t.Charge(t.eng.C.Sync.RefLockedWork)
+		chargeLine(t, &r.lastProc)
+	}
+	r.v.Add(1)
 	lk.Release(t)
 }
 
@@ -120,30 +148,33 @@ func (r *RefCount) Incr(t *Thread) {
 // zero (the caller then frees the object).
 func (r *RefCount) Decr(t *Thread) bool {
 	if r.mode == RefAtomic {
-		t.Sync()
-		t.Charge(t.eng.C.Sync.Atomic)
-		chargeLine(t, &r.lastProc)
-		r.v--
-		if r.v < 0 {
+		if t.eng.host == nil {
+			t.Sync()
+			t.Charge(t.eng.C.Sync.Atomic)
+			chargeLine(t, &r.lastProc)
+		}
+		nv := r.v.Add(-1)
+		if nv < 0 {
 			panic("sim: RefCount underflow")
 		}
-		return r.v == 0
+		return nv == 0
 	}
 	lk := r.lock(t)
 	lk.Acquire(t)
-	t.Charge(t.eng.C.Sync.RefLockedWork)
-	chargeLine(t, &r.lastProc)
-	r.v--
-	z := r.v == 0
-	if r.v < 0 {
+	if t.eng.host == nil {
+		t.Charge(t.eng.C.Sync.RefLockedWork)
+		chargeLine(t, &r.lastProc)
+	}
+	nv := r.v.Add(-1)
+	if nv < 0 {
 		panic("sim: RefCount underflow")
 	}
 	lk.Release(t)
-	return z
+	return nv == 0
 }
 
-// Value returns the current count (engine-serialized read).
-func (r *RefCount) Value() int32 { return r.v }
+// Value returns the current count.
+func (r *RefCount) Value() int32 { return r.v.Load() }
 
 // Sequencer implements the ticketing ("bakery") scheme of Section 4.2:
 // a thread takes an up-ticket while still holding the connection state
@@ -155,6 +186,10 @@ type Sequencer struct {
 	lastProc int
 	waiters  map[uint64]*Thread
 	inited   bool
+
+	// hostMu guards the fields above on the host backend, where the
+	// engine no longer serializes callers.
+	hostMu sync.Mutex
 }
 
 func (s *Sequencer) init() {
@@ -167,6 +202,14 @@ func (s *Sequencer) init() {
 
 // Ticket draws the next ticket (atomic fetch-and-increment).
 func (s *Sequencer) Ticket(t *Thread) uint64 {
+	if t.eng.host != nil {
+		s.hostMu.Lock()
+		s.init()
+		n := s.next
+		s.next++
+		s.hostMu.Unlock()
+		return n
+	}
 	t.Sync()
 	s.init()
 	t.Charge(t.eng.C.Sync.Atomic)
@@ -178,6 +221,18 @@ func (s *Sequencer) Ticket(t *Thread) uint64 {
 
 // Wait blocks until ticket k is being served.
 func (s *Sequencer) Wait(t *Thread, k uint64) {
+	if t.eng.host != nil {
+		s.hostMu.Lock()
+		s.init()
+		if k <= s.serving {
+			s.hostMu.Unlock()
+			return
+		}
+		s.waiters[k] = t
+		s.hostMu.Unlock()
+		t.Block("sequencer")
+		return
+	}
 	t.Sync()
 	s.init()
 	chargeLine(t, &s.lastProc)
@@ -194,6 +249,18 @@ func (s *Sequencer) Wait(t *Thread, k uint64) {
 // Done advances service to the next ticket and wakes its waiter, if
 // parked.
 func (s *Sequencer) Done(t *Thread) {
+	if t.eng.host != nil {
+		s.hostMu.Lock()
+		s.init()
+		s.serving++
+		w := s.waiters[s.serving]
+		delete(s.waiters, s.serving)
+		s.hostMu.Unlock()
+		if w != nil {
+			w.hostWake()
+		}
+		return
+	}
 	t.Sync()
 	s.init()
 	t.Charge(t.eng.C.Sync.Atomic)
@@ -206,15 +273,30 @@ func (s *Sequencer) Done(t *Thread) {
 }
 
 // Cond is a condition variable tied to a Locker, used for flow-control
-// blocking (a TCP sender waiting for window space).
+// blocking (a TCP sender waiting for window space). Callers hold L
+// around Wait/Signal/Broadcast (as condition variables require); on the
+// host backend an internal mutex additionally guards the waiter list so
+// a wake delivered between release and park is buffered, not lost.
 type Cond struct {
 	L       Locker
 	waiters []*Thread
+	hostMu  sync.Mutex
 }
 
 // Wait atomically releases the lock and blocks; on wakeup the lock is
 // re-acquired before returning. reason appears in deadlock dumps.
+// Callers must re-check their predicate in a loop: host-mode wakeups
+// can be spurious with respect to the predicate.
 func (c *Cond) Wait(t *Thread, reason string) {
+	if t.eng.host != nil {
+		c.hostMu.Lock()
+		c.waiters = append(c.waiters, t)
+		c.hostMu.Unlock()
+		c.L.Release(t)
+		t.Block(reason)
+		c.L.Acquire(t)
+		return
+	}
 	c.waiters = append(c.waiters, t)
 	c.L.Release(t)
 	t.Block(reason)
@@ -223,6 +305,16 @@ func (c *Cond) Wait(t *Thread, reason string) {
 
 // Broadcast wakes all waiters.
 func (c *Cond) Broadcast(t *Thread) {
+	if t.eng.host != nil {
+		c.hostMu.Lock()
+		ws := c.waiters
+		c.waiters = nil
+		c.hostMu.Unlock()
+		for _, w := range ws {
+			w.hostWake()
+		}
+		return
+	}
 	if len(c.waiters) == 0 {
 		return
 	}
@@ -235,6 +327,19 @@ func (c *Cond) Broadcast(t *Thread) {
 
 // Signal wakes one waiter (FIFO).
 func (c *Cond) Signal(t *Thread) {
+	if t.eng.host != nil {
+		c.hostMu.Lock()
+		var w *Thread
+		if len(c.waiters) > 0 {
+			w = c.waiters[0]
+			c.waiters = c.waiters[1:]
+		}
+		c.hostMu.Unlock()
+		if w != nil {
+			w.hostWake()
+		}
+		return
+	}
 	if len(c.waiters) == 0 {
 		return
 	}
@@ -246,37 +351,36 @@ func (c *Cond) Signal(t *Thread) {
 // Counter is a shared cell updated with atomic fetch-and-add (sequence
 // number allocation in the drivers, statistics that must be exact).
 type Counter struct {
-	v        int64
+	v        atomic.Int64
 	lastProc int
 	inited   bool
 }
 
 // Add charges one atomic op and returns the *previous* value.
 func (c *Counter) Add(t *Thread, delta int64) int64 {
-	t.Sync()
-	if !c.inited {
-		c.lastProc = -1
-		c.inited = true
+	if t.eng.host == nil {
+		t.Sync()
+		if !c.inited {
+			c.lastProc = -1
+			c.inited = true
+		}
+		t.Charge(t.eng.C.Sync.Atomic)
+		chargeLine(t, &c.lastProc)
 	}
-	t.Charge(t.eng.C.Sync.Atomic)
-	chargeLine(t, &c.lastProc)
-	old := c.v
-	c.v += delta
-	return old
+	return c.v.Add(delta) - delta
 }
 
-// Load returns the current value without synchronization cost
-// (engine-serialized, deterministic; used for statistics).
-func (c *Counter) Load() int64 { return c.v }
+// Load returns the current value without synchronization cost.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Store sets the value (setup/reset paths only).
-func (c *Counter) Store(v int64) { c.v = v }
+func (c *Counter) Store(v int64) { c.v.Store(v) }
 
 // Flag is a shared boolean checked with relaxed reads (stop flags).
-type Flag struct{ v bool }
+type Flag struct{ v atomic.Bool }
 
 // Set raises the flag.
-func (f *Flag) Set() { f.v = true }
+func (f *Flag) Set() { f.v.Store(true) }
 
 // Get reads the flag without synchronization cost.
-func (f *Flag) Get() bool { return f.v }
+func (f *Flag) Get() bool { return f.v.Load() }

@@ -77,7 +77,7 @@ func NewBench(t *sim.Thread, cfg Config, alloc *msg.Allocator, n int) (*Protocol
 // BenchSlowTick runs one slow heartbeat through whichever timer
 // architecture the config selects, exactly as the recurring event would.
 func (p *Protocol) BenchSlowTick(t *sim.Thread) {
-	p.slowTicks++
+	p.slowTicks.Add(1)
 	if p.cfg.TimerWheel {
 		p.wheelSlowTimo(t)
 	} else {
@@ -99,7 +99,7 @@ func (p *Protocol) BenchFastTick(t *sim.Thread) {
 // heartbeat flushes it.
 func (tcb *TCB) BenchMarkDelack(t *sim.Thread) {
 	tcb.locks.lockState(t)
-	tcb.delAckPnd = true
+	tcb.delAckPnd.Store(true)
 	tcb.queueDelack(t)
 	tcb.locks.unlockState(t)
 }

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sync/atomic"
+
 	"repro/internal/msg"
 	"repro/internal/sim"
 )
@@ -22,18 +24,18 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 	st := &t.Engine().C.Stack
 	cfg := &tcb.p.cfg
 	p := tcb.p
-	p.stats.SegsIn++
+	atomic.AddInt64(&p.stats.SegsIn, 1)
 
 	tcb.locks.lockState(t)
 
 	// Instrumentation for Table 1: a data segment whose sequence number
 	// is not the next expected arrived out of order at TCP.
 	if sg.dlen > 0 && tcb.state == stateEstablished {
-		tcb.dataIn++
-		p.stats.DataSegsIn++
+		atomic.AddInt64(&tcb.dataIn, 1)
+		atomic.AddInt64(&p.stats.DataSegsIn, 1)
 		if sg.seq != tcb.rcvNxt {
-			tcb.oooIn++
-			p.stats.OOOSegsIn++
+			atomic.AddInt64(&tcb.oooIn, 1)
+			atomic.AddInt64(&p.stats.OOOSegsIn, 1)
 			t.Engine().Rec.OutOfOrder(t.Proc, t.Now(), int64(sg.seq), int64(tcb.rcvNxt))
 		}
 	}
@@ -88,8 +90,8 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			seqGT(sg.ack, tcb.sndUna) && seqLEQ(sg.ack, tcb.sndMax) {
 			// Predicted pure ACK.
 			t.ChargeRand(st.TCPAckLocked)
-			p.stats.AcksIn++
-			p.stats.Predicted++
+			atomic.AddInt64(&p.stats.AcksIn, 1)
+			atomic.AddInt64(&p.stats.Predicted, 1)
 			t.Engine().Rec.PredictHit(t.Proc, t.Now(), int64(sg.ack))
 			tcb.processAck(t, sg)
 			tcb.notFull.Broadcast(t)
@@ -124,9 +126,9 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 			// Accounted only after the fallible ack send and delivery:
 			// a failed step must not count as delivered traffic or the
 			// counters drift from the sink under fault injection.
-			p.stats.Predicted++
-			p.stats.BytesIn += int64(dlen)
-			p.stats.Delivered++
+			atomic.AddInt64(&p.stats.Predicted, 1)
+			atomic.AddInt64(&p.stats.BytesIn, int64(dlen))
+			atomic.AddInt64(&p.stats.Delivered, 1)
 			return nil
 		}
 	}
@@ -152,7 +154,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 				}
 			}
 		default:
-			p.stats.AcksIn++
+			atomic.AddInt64(&p.stats.AcksIn, 1)
 			tcb.dupAcks = 0
 			tcb.processAck(t, sg)
 			tcb.notFull.Broadcast(t)
@@ -193,7 +195,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 				// Drop the whole segment and ack so the peer retransmits
 				// from our edge. Its FIN, if any, rides sequence space we
 				// just refused, so it must not be processed either.
-				p.stats.Dropped++
+				atomic.AddInt64(&p.stats.Dropped, 1)
 				needAckNow = true
 				sg.flags &^= FlagFIN
 				m.Free(t)
@@ -203,14 +205,14 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 		if m != nil {
 			if sg.seq == tcb.rcvNxt && len(tcb.reassQ) == 0 {
 				tcb.rcvNxt += uint32(sg.dlen)
-				p.stats.BytesIn += int64(sg.dlen)
+				atomic.AddInt64(&p.stats.BytesIn, int64(sg.dlen))
 				deliver = append(deliver, m)
 				m = nil
 				tcb.unacked++
 				if tcb.unacked >= cfg.AckEvery {
 					needAckNow = true
 				} else {
-					tcb.delAckPnd = true
+					tcb.delAckPnd.Store(true)
 					tcb.queueDelack(t)
 				}
 			} else {
@@ -233,7 +235,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 					drained++
 					t.ChargeRand(st.TCPReassDrain)
 					tcb.rcvNxt += uint32(rs.dlen)
-					p.stats.BytesIn += int64(rs.dlen)
+					atomic.AddInt64(&p.stats.BytesIn, int64(rs.dlen))
 					if rs.m != nil {
 						deliver = append(deliver, rs.m)
 					}
@@ -282,7 +284,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 	ackVal, win := tcb.rcvNxt, tcb.rcvWnd
 	if needAckNow {
 		tcb.unacked = 0
-		tcb.delAckPnd = false
+		tcb.delAckPnd.Store(false)
 		tcb.lastAckSent = ackVal
 	}
 	tcb.locks.unlockState(t)
@@ -305,7 +307,7 @@ func (tcb *TCB) input(t *sim.Thread, sg seg, m *msg.Message) error {
 		if err := tcb.up.Receive(t, dm); err != nil {
 			return err
 		}
-		p.stats.Delivered++
+		atomic.AddInt64(&p.stats.Delivered, 1)
 	}
 	return nil
 }
@@ -318,11 +320,11 @@ func (tcb *TCB) ackPolicy(t *sim.Thread) (bool, uint32, uint32) {
 	tcb.unacked++
 	if tcb.unacked >= tcb.p.cfg.AckEvery {
 		tcb.unacked = 0
-		tcb.delAckPnd = false
+		tcb.delAckPnd.Store(false)
 		tcb.lastAckSent = tcb.rcvNxt
 		return true, tcb.rcvNxt, tcb.rcvWnd
 	}
-	tcb.delAckPnd = true
+	tcb.delAckPnd.Store(true)
 	tcb.queueDelack(t)
 	return false, 0, 0
 }

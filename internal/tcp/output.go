@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sync/atomic"
+
 	"repro/internal/msg"
 	"repro/internal/sim"
 )
@@ -124,7 +126,7 @@ func (tcb *TCB) sendSegment(t *sim.Thread, m *msg.Message, flags uint8) error {
 		tcb.rttSeq = seqn
 	}
 	tcb.unacked = 0 // piggybacked ack below
-	tcb.delAckPnd = false
+	tcb.delAckPnd.Store(false)
 	if tcb.locks.layout != Layout6 {
 		// TCP-1/2: release the state lock before checksumming —
 		// "checksumming a packet is orthogonal to manipulating
@@ -142,8 +144,8 @@ func (tcb *TCB) sendSegment(t *sim.Thread, m *msg.Message, flags uint8) error {
 		tcb.locks.unlockState(t)
 	}
 
-	tcb.p.stats.SegsOut++
-	tcb.p.stats.BytesOut += int64(dlen)
+	atomic.AddInt64(&tcb.p.stats.SegsOut, 1)
+	atomic.AddInt64(&tcb.p.stats.BytesOut, int64(dlen))
 	return tcb.lower.Push(t, m)
 }
 
@@ -156,7 +158,17 @@ func (tcb *TCB) sendAckNow(t *sim.Thread, ack uint32, win uint32) error {
 		return err
 	}
 	var seqn uint32
-	seqn = tcb.sndNxt // racy read is fine: pure ACK carries no data
+	if t.Engine().IsHost() {
+		// On real goroutines the unlocked read below is a data race; a
+		// brief state-lock snapshot keeps the race detector clean. The
+		// sim branch stays lock-free so virtual-time charging (and thus
+		// byte identity with the seed) is unchanged.
+		tcb.locks.lockState(t)
+		seqn = tcb.sndNxt
+		tcb.locks.unlockState(t)
+	} else {
+		seqn = tcb.sndNxt // racy read is fine: pure ACK carries no data
+	}
 	h, err := m.Push(t, HdrLen)
 	if err != nil {
 		m.Free(t)
@@ -170,8 +182,8 @@ func (tcb *TCB) sendAckNow(t *sim.Thread, ack uint32, win uint32) error {
 	if tcb.locks.layout == Layout6 {
 		tcb.locks.hprep.Release(t)
 	}
-	tcb.p.stats.SegsOut++
-	tcb.p.stats.AcksOut++
+	atomic.AddInt64(&tcb.p.stats.SegsOut, 1)
+	atomic.AddInt64(&tcb.p.stats.AcksOut, 1)
 	return tcb.lower.Push(t, m)
 }
 
@@ -218,9 +230,9 @@ func (tcb *TCB) retransmit(t *sim.Thread, fast bool) error {
 	tcb.locks.unlockState(t)
 
 	if fast {
-		tcb.p.stats.FastRexmt++
+		atomic.AddInt64(&tcb.p.stats.FastRexmt, 1)
 	} else {
-		tcb.p.stats.Rexmt++
+		atomic.AddInt64(&tcb.p.stats.Rexmt, 1)
 	}
 	t.Engine().Rec.Retransmit(t.Proc, t.Now(), int64(seqn), fast)
 	if m == nil {
@@ -237,7 +249,7 @@ func (tcb *TCB) retransmit(t *sim.Thread, fast bool) error {
 	}
 	putHeader(h, tcb.part.LocalPort, tcb.part.RemotePort, seqn, ack, flags, win)
 	tcb.finishChecksum(t, m)
-	tcb.p.stats.SegsOut++
+	atomic.AddInt64(&tcb.p.stats.SegsOut, 1)
 	return tcb.lower.Push(t, m)
 }
 

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sync/atomic"
+
 	"repro/internal/chksum"
 	"repro/internal/event"
 	"repro/internal/msg"
@@ -221,8 +223,12 @@ type TCB struct {
 	reassQ []reassSeg
 
 	// Delayed-ack state: data segments received since the last ACK.
+	// unacked is state-lock-protected; delAckPnd is atomic because the
+	// scan-mode fast timeout peeks at it without the state lock (the
+	// double-checked BSD pattern), which races pump threads on the host
+	// backend.
 	unacked   int
-	delAckPnd bool
+	delAckPnd atomic.Bool
 
 	// Timers (BSD slow-tick counters) and RTT estimation. Scan mode
 	// uses the tick counters; wheel mode keeps the authoritative expiry
@@ -246,7 +252,9 @@ type TCB struct {
 	// Ordering preservation (Section 4.2).
 	upSeq sim.Sequencer
 
-	// Per-connection instrumentation.
+	// Per-connection instrumentation (atomic adds: read by control-side
+	// order snapshots while pump threads are still counting on the host
+	// backend).
 	oooIn      int64
 	dataIn     int64
 	finRcvd    bool
@@ -311,7 +319,9 @@ func (tcb *TCB) MSS() int { return tcb.mss }
 
 // OOOStats returns (out-of-order data segments, total data segments)
 // observed at TCP input — the Table 1 measurement.
-func (tcb *TCB) OOOStats() (int64, int64) { return tcb.oooIn, tcb.dataIn }
+func (tcb *TCB) OOOStats() (int64, int64) {
+	return atomic.LoadInt64(&tcb.oooIn), atomic.LoadInt64(&tcb.dataIn)
+}
 
 // StateLockStats exposes connection-state lock contention (the Pixie
 // wait-fraction figure of Section 3.1).
@@ -381,7 +391,7 @@ func (tcb *TCB) drop(t *sim.Thread, cause string) error {
 	tcb.closeCause = cause
 	tcb.state = stateClosed
 	if tcb.p.cfg.TimerWheel {
-		tcb.delAckPnd = false
+		tcb.delAckPnd.Store(false)
 		for i := 0; i < nTimers; i++ {
 			tcb.timerDeadline[i] = 0
 			if tcb.timerNode[i].Armed() {
@@ -435,9 +445,9 @@ func (tcb *TCB) sendControl(t *sim.Thread, flags uint8, seqn, ack uint32) error 
 	}
 	putHeader(h, tcb.part.LocalPort, tcb.part.RemotePort, seqn, ack, flags, tcb.rcvWnd)
 	tcb.finishChecksum(t, m)
-	tcb.p.stats.SegsOut++
+	atomic.AddInt64(&tcb.p.stats.SegsOut, 1)
 	if flags&FlagACK != 0 {
-		tcb.p.stats.AcksOut++
+		atomic.AddInt64(&tcb.p.stats.AcksOut, 1)
 	}
 	return tcb.lower.Push(t, m)
 }

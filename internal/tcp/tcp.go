@@ -25,6 +25,7 @@ package tcp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/event"
 	"repro/internal/msg"
@@ -144,7 +145,10 @@ type IPSession interface {
 	MSS() int
 }
 
-// Stats aggregates protocol-wide counters.
+// Stats aggregates protocol-wide counters. Fields are updated with
+// atomic adds: pump threads on different procs bump them concurrently
+// on the host backend (the sim engine serializes, so the atomics are
+// free there and the values stay deterministic).
 type Stats struct {
 	SegsIn      int64
 	SegsOut     int64
@@ -190,7 +194,7 @@ type Protocol struct {
 	delackQ       []*TCB
 	delackScratch []*TCB
 	dueScratch    []*event.TimerNode
-	slowTicks     int64
+	slowTicks     atomic.Int64
 
 	// timerLog, when set (tests), observes every slow-timer expiry as
 	// (tcb, which, slow tick index) in both timer modes.
@@ -235,8 +239,27 @@ func New(cfg Config, lower IPOpener, alloc *msg.Allocator, wheel *event.Wheel) *
 // Ref returns the protocol reference count.
 func (p *Protocol) Ref() *sim.RefCount { return &p.ref }
 
-// Stats returns a copy of the aggregate counters.
-func (p *Protocol) Stats() Stats { return p.stats }
+// Stats returns a copy of the aggregate counters (atomic-load
+// snapshot; coherent per field, not across fields, on the host
+// backend).
+func (p *Protocol) Stats() Stats {
+	return Stats{
+		SegsIn:      atomic.LoadInt64(&p.stats.SegsIn),
+		SegsOut:     atomic.LoadInt64(&p.stats.SegsOut),
+		DataSegsIn:  atomic.LoadInt64(&p.stats.DataSegsIn),
+		OOOSegsIn:   atomic.LoadInt64(&p.stats.OOOSegsIn),
+		Predicted:   atomic.LoadInt64(&p.stats.Predicted),
+		AcksIn:      atomic.LoadInt64(&p.stats.AcksIn),
+		AcksOut:     atomic.LoadInt64(&p.stats.AcksOut),
+		Rexmt:       atomic.LoadInt64(&p.stats.Rexmt),
+		FastRexmt:   atomic.LoadInt64(&p.stats.FastRexmt),
+		Dropped:     atomic.LoadInt64(&p.stats.Dropped),
+		ChecksumBad: atomic.LoadInt64(&p.stats.ChecksumBad),
+		Delivered:   atomic.LoadInt64(&p.stats.Delivered),
+		BytesIn:     atomic.LoadInt64(&p.stats.BytesIn),
+		BytesOut:    atomic.LoadInt64(&p.stats.BytesOut),
+	}
+}
 
 // DemuxMap exposes the connection demux map.
 func (p *Protocol) DemuxMap() *xmap.Map { return p.tcbs }
@@ -315,7 +338,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	t.ChargeRand(st.TCPRecvPre)
 	h, err := m.Peek(HdrLen)
 	if err != nil {
-		p.stats.Dropped++
+		atomic.AddInt64(&p.stats.Dropped, 1)
 		m.Free(t)
 		return ErrShort
 	}
@@ -326,7 +349,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	key := xmap.AddrKey(dstOf(m), srcOf(m), sg.dport, sg.sport)
 	v, ok := p.tcbs.Resolve(t, key)
 	if !ok {
-		p.stats.Dropped++
+		atomic.AddInt64(&p.stats.Dropped, 1)
 		m.Free(t)
 		return fmt.Errorf("tcp: no connection for %v", sg)
 	}
@@ -340,12 +363,12 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	if p.cfg.Checksum != ChecksumOff {
 		t.ChargeBytes(st.ChecksumByte, m.Len())
 		if !tcb.verifyChecksum(t, m) {
-			p.stats.ChecksumBad++
+			atomic.AddInt64(&p.stats.ChecksumBad, 1)
 			if p.cfg.Checksum == ChecksumEnforce {
 				if p.cfg.Layout == Layout6 {
 					tcb.locks.hrem.Release(t)
 				}
-				p.stats.Dropped++
+				atomic.AddInt64(&p.stats.Dropped, 1)
 				m.Free(t)
 				return ErrBadChecksum
 			}
@@ -355,7 +378,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 		if p.cfg.Layout == Layout6 {
 			tcb.locks.hrem.Release(t)
 		}
-		p.stats.Dropped++
+		atomic.AddInt64(&p.stats.Dropped, 1)
 		m.Free(t)
 		return ErrShort
 	}

@@ -49,7 +49,7 @@ func (p *Protocol) StartTimers(t *sim.Thread) {
 		if p.stopTimers.Get() {
 			return
 		}
-		p.slowTicks++
+		p.slowTicks.Add(1)
 		if p.cfg.TimerWheel {
 			p.wheelSlowTimo(et)
 		} else {
@@ -71,10 +71,10 @@ func (p *Protocol) fastTimo(t *sim.Thread) {
 	flush := p.flushScratch[:0]
 	p.tcbs.ForEach(t, func(_ xmap.Key, v any) bool {
 		tcb := v.(*TCB)
-		if tcb.delAckPnd {
+		if tcb.delAckPnd.Load() {
 			tcb.locks.lockState(t)
-			if tcb.delAckPnd {
-				tcb.delAckPnd = false
+			if tcb.delAckPnd.Load() {
+				tcb.delAckPnd.Store(false)
 				tcb.unacked = 0
 				tcb.lastAckSent = tcb.rcvNxt
 				flush = append(flush, pendingAck{tcb, tcb.rcvNxt, tcb.rcvWnd})
@@ -114,7 +114,7 @@ func (p *Protocol) slowTimo(t *sim.Thread) {
 	})
 	for _, f := range fired {
 		if p.timerLog != nil {
-			p.timerLog(f.tcb, f.which, p.slowTicks)
+			p.timerLog(f.tcb, f.which, p.slowTicks.Load())
 		}
 		f.tcb.timeout(t, f.which)
 	}

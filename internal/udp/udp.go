@@ -5,6 +5,8 @@
 package udp
 
 import (
+	"sync/atomic"
+
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -106,8 +108,16 @@ func New(cfg Config, lower IPOpener) *Protocol {
 // Ref returns the protocol reference count.
 func (p *Protocol) Ref() *sim.RefCount { return &p.ref }
 
-// Stats returns a copy of the counters.
-func (p *Protocol) Stats() Stats { return p.stats }
+// Stats returns a copy of the counters (atomic-load snapshot; pump
+// threads bump them concurrently on the host backend).
+func (p *Protocol) Stats() Stats {
+	return Stats{
+		Sent:        atomic.LoadInt64(&p.stats.Sent),
+		Delivered:   atomic.LoadInt64(&p.stats.Delivered),
+		NoPort:      atomic.LoadInt64(&p.stats.NoPort),
+		ChecksumBad: atomic.LoadInt64(&p.stats.ChecksumBad),
+	}
+}
 
 // DemuxMap exposes the session demux map.
 func (p *Protocol) DemuxMap() *xmap.Map { return p.sessions }
@@ -167,7 +177,7 @@ func (s *Session) Push(t *sim.Thread, m *msg.Message) error {
 		}
 		binary.BigEndian.PutUint16(h[6:8], ck)
 	}
-	s.p.stats.Sent++
+	atomic.AddInt64(&s.p.stats.Sent, 1)
 	return s.lower.Push(t, m)
 }
 
@@ -205,7 +215,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	// Demux key from the receiver's perspective: local=dst port.
 	v, ok := p.sessions.Resolve(t, xmap.PortKey(dport, sport))
 	if !ok {
-		p.stats.NoPort++
+		atomic.AddInt64(&p.stats.NoPort, 1)
 		m.Free(t)
 		return fmt.Errorf("udp: no session for ports %d<-%d", dport, sport)
 	}
@@ -214,7 +224,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 		t.ChargeBytes(st.ChecksumByte, m.Len())
 		if binary.BigEndian.Uint16(h[6:8]) != 0 {
 			if !chksum.Verify(s.lower.Dst(), s.lower.Src(), 17, m.Bytes()) {
-				p.stats.ChecksumBad++
+				atomic.AddInt64(&p.stats.ChecksumBad, 1)
 				if p.cfg.Checksum == ChecksumEnforce {
 					m.Free(t)
 					return ErrBadChecksum
@@ -231,7 +241,7 @@ func (p *Protocol) Demux(t *sim.Thread, m *msg.Message) error {
 	err = s.up.Receive(t, m)
 	s.ref.Decr(t)
 	if err == nil {
-		p.stats.Delivered++
+		atomic.AddInt64(&p.stats.Delivered, 1)
 	}
 	return err
 }

@@ -11,6 +11,7 @@ package xmap
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -31,7 +32,9 @@ type entry struct {
 	next *entry
 }
 
-// Stats counts map activity.
+// Stats counts map activity (atomic adds: callers on concurrent host
+// threads bump them under the map lock, but Stats() snapshots without
+// it).
 type Stats struct {
 	Resolves  int64
 	CacheHits int64
@@ -123,7 +126,7 @@ func (m *Map) Bind(t *sim.Thread, k Key, v any) error {
 	}
 	m.buckets[b] = &entry{key: k, val: v, next: m.buckets[b]}
 	m.n++
-	m.stats.Binds++
+	atomic.AddInt64(&m.stats.Binds, 1)
 	if m.MaxLoad > 0 && m.n > m.MaxLoad*len(m.buckets) {
 		m.grow()
 	}
@@ -163,10 +166,10 @@ func (m *Map) Grows() int { return m.grows }
 func (m *Map) Resolve(t *sim.Thread, k Key) (any, bool) {
 	m.acquire(t)
 	defer m.release(t)
-	m.stats.Resolves++
+	atomic.AddInt64(&m.stats.Resolves, 1)
 	st := &t.Engine().C.Stack
 	if !m.NoCache && m.cacheValid && m.cacheKey == k {
-		m.stats.CacheHits++
+		atomic.AddInt64(&m.stats.CacheHits, 1)
 		t.ChargeRand(st.MapCacheHit)
 		return m.cacheVal, true
 	}
@@ -190,7 +193,7 @@ func (m *Map) Unbind(t *sim.Thread, k Key) error {
 		if (*pe).key == k {
 			*pe = (*pe).next
 			m.n--
-			m.stats.Unbinds++
+			atomic.AddInt64(&m.stats.Unbinds, 1)
 			if m.cacheValid && m.cacheKey == k {
 				m.cacheValid = false
 			}
@@ -224,8 +227,15 @@ func (m *Map) ForEach(t *sim.Thread, fn func(Key, any) bool) {
 	}
 }
 
-// Stats returns a copy of the counters.
-func (m *Map) Stats() Stats { return m.stats }
+// Stats returns a copy of the counters (atomic-load snapshot).
+func (m *Map) Stats() Stats {
+	return Stats{
+		Resolves:  atomic.LoadInt64(&m.stats.Resolves),
+		CacheHits: atomic.LoadInt64(&m.stats.CacheHits),
+		Binds:     atomic.LoadInt64(&m.stats.Binds),
+		Unbinds:   atomic.LoadInt64(&m.stats.Unbinds),
+	}
+}
 
 // LockStats exposes the map lock's contention statistics.
 func (m *Map) LockStats() sim.LockStats { return m.lock.Stats() }

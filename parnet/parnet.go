@@ -303,8 +303,19 @@ type Config struct {
 
 	// Workers bounds the host OS threads that independent runs and
 	// sweep points fan across (0 means GOMAXPROCS). Results are
-	// byte-identical for every value.
+	// byte-identical for every value. Host-backend points always run
+	// one at a time regardless of Workers — concurrent real-time runs
+	// would contend for the same CPUs and corrupt each other's numbers.
 	Workers int
+
+	// Backend selects the execution substrate: "" or "sim" (default) is
+	// the deterministic virtual-time simulation the paper's methodology
+	// uses; "host" runs the identical stack on real goroutines with
+	// sync-based locks and wall-clock measurement windows (WarmupMs and
+	// MeasureMs then elapse in real time — keep them short). Host runs
+	// are nondeterministic and support only the plain packet-level
+	// shapes; see core.Config.Backend for what is rejected.
+	Backend string
 
 	// SamplePeriodUs turns on virtual-time telemetry sampling with the
 	// given period in virtual microseconds (0: off). Sampling is purely
@@ -512,6 +523,14 @@ func (c Config) toCore() (core.Config, error) {
 		}
 	}
 	cfg.SamplePeriodNs = c.SamplePeriodUs * 1_000
+	switch c.Backend {
+	case "", "sim":
+		cfg.Backend = sim.BackendSim
+	case "host":
+		cfg.Backend = sim.BackendHost
+	default:
+		return cfg, fmt.Errorf("parnet: unknown backend %q (want \"sim\" or \"host\")", c.Backend)
+	}
 	return cfg, nil
 }
 
@@ -675,6 +694,11 @@ type ExperimentParams struct {
 	// points fan across (0 means GOMAXPROCS); output is identical for
 	// every value.
 	Workers int
+	// Backend selects the execution substrate for experiments that
+	// honor it ("" or "sim", or "host"). Today that is ext-host, which
+	// runs its sweep on both substrates and reports shape agreement;
+	// the paper-figure experiments are simulation-only and ignore it.
+	Backend string
 }
 
 // RunExperiment regenerates one paper table/figure by ID (for example
@@ -701,6 +725,7 @@ func RunExperiment(id string, p ExperimentParams) ([]string, error) {
 		ep.Seed = p.Seed
 	}
 	ep.Workers = p.Workers
+	ep.Backend = p.Backend
 	tables, err := spec.Run(ep)
 	if err != nil {
 		return nil, err

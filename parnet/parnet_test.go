@@ -103,6 +103,44 @@ func TestInvalidConfigRejected(t *testing.T) {
 	}
 }
 
+func TestBackendSelection(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.Backend = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Error("bad backend accepted")
+	}
+	for _, b := range []string{"", "sim"} {
+		cfg := quick(DefaultConfig())
+		cfg.Backend = b
+		if _, err := cfg.toCore(); err != nil {
+			t.Errorf("backend %q rejected: %v", b, err)
+		}
+	}
+}
+
+func TestRunHostBackend(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Processors = 2
+	cfg.Backend = "host"
+	cfg.WarmupMs = 2 // wall-clock on the host backend
+	cfg.MeasureMs = 30
+	cfg.Runs = 1
+	// An oversubscribed machine can starve a wall-clock window outright;
+	// retry before calling the backend broken.
+	var res Result
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		res, err = Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mbps > 0 {
+			return
+		}
+	}
+	t.Errorf("no traffic moved in 3 attempts: %+v", res)
+}
+
 func TestExperimentCatalog(t *testing.T) {
 	exps := Experiments()
 	if len(exps) < 20 {
